@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the rows it produces, and saves them under ``benchmarks/results/`` so the
+output survives pytest's capture.  Experiments are run exactly once via
+``benchmark.pedantic`` — they are full-system simulations, not microbenches.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, lines: Iterable[str]) -> None:
+    """Print a result table and persist it to benchmarks/results/<name>.txt."""
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def run_once(benchmark, fn: Callable):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def bar(value: float, scale: float = 30.0, maximum: float = 1.0) -> str:
+    """A tiny ASCII bar for figure-style output."""
+    filled = int(round(min(value, maximum) / maximum * scale))
+    return "#" * filled

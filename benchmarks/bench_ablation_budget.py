@@ -1,0 +1,101 @@
+"""Ablation — region power-on budget (§VI-B steps 3-5).
+
+A tighter budget means more splitting: more boundaries, more checkpoint
+groups, more run-time overhead — but shorter regions, so rollback recovery
+keeps making progress under faster power cycling.  This sweep quantifies
+that trade, which is exactly why the paper sizes regions against the
+guaranteed charge (and why unsplit Ratchet DoSes, §VII-B3).
+"""
+
+from _util import emit, run_once
+
+from repro.core import compile_gecko
+from repro.runtime import GeckoRuntime, Machine, run_to_completion
+from repro.workloads import source
+
+WORKLOAD = "crc16"
+BUDGETS = (600, 1_500, 6_000, 50_000)
+
+
+def _progress_under_crashes(program, period: int, horizon: int = 400_000):
+    """Completions achieved under a fixed crash period (rollback mode)."""
+    machine = Machine(program.linked)
+    runtime = GeckoRuntime(program.linked)
+    runtime.on_reboot(machine)
+    machine.write_word("__mode", 0, 1)
+    completions = 0
+    spent = 0
+    since = 0
+    entry = program.linked.entry_pc
+    init = list(machine.mem)
+    while spent < horizon:
+        cycles = machine.step()
+        spent += cycles
+        since += cycles
+        if machine.halted:
+            completions += 1
+            preserve = {n: machine.read_word(n) for n in
+                        ("__mode", "__boots", "__ack_seen", "__done_seen",
+                         "__jit_ack", "__region_done")}
+            machine.mem[:] = init
+            for n, v in preserve.items():
+                machine.write_word(n, 0, v)
+            machine.halted = False
+            machine.pc = entry
+            machine.regs = [0] * 16
+            machine.out_buffer = []
+            machine.sensor_cursor = 0
+            continue
+        if since >= period:
+            since = 0
+            machine.power_off()
+            runtime.on_reboot(machine)
+            machine.write_word("__mode", 0, 1)
+    return completions
+
+
+def _experiment():
+    rows = []
+    for budget in BUDGETS:
+        program = compile_gecko(source(WORKLOAD), region_budget=budget)
+        stable = run_to_completion(program.linked).cycles
+        fast = _progress_under_crashes(program, period=2_500)
+        slow = _progress_under_crashes(program, period=60_000)
+        rows.append({
+            "budget": budget,
+            "regions": program.region_count,
+            "checkpoints": program.checkpoint_stores,
+            "stable_cycles": stable,
+            "completions_fast_crash": fast,
+            "completions_slow_crash": slow,
+        })
+    return rows
+
+
+def test_ablation_region_budget(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'budget':>7} {'regions':>8} {'ckpts':>6} {'stable':>8} "
+             f"{'compl@2.5k':>11} {'compl@60k':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row['budget']:7d} {row['regions']:8d} "
+            f"{row['checkpoints']:6d} {row['stable_cycles']:8d} "
+            f"{row['completions_fast_crash']:11d} "
+            f"{row['completions_slow_crash']:10d}"
+        )
+    lines.append("")
+    lines.append("tighter budget -> more regions & overhead, but progress "
+                 "survives fast power cycling (the Ratchet-DoS trade)")
+    emit("ablation_region_budget", lines)
+
+    regions = [row["regions"] for row in rows]
+    assert all(a >= b for a, b in zip(regions, regions[1:]))
+    # Under fast crashing, only budget < period makes progress; the widest
+    # budget must do strictly worse than the tightest.
+    assert rows[0]["completions_fast_crash"] > \
+        rows[-1]["completions_fast_crash"]
+    # Under slow crashing the wide budget's lower overhead wins (or ties).
+    assert rows[-1]["completions_slow_crash"] >= \
+        rows[0]["completions_slow_crash"]
+    # Stable-power overhead grows as the budget tightens.
+    assert rows[0]["stable_cycles"] >= rows[-1]["stable_cycles"]

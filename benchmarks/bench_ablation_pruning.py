@@ -1,0 +1,64 @@
+"""Ablation — recovery-block length cap vs pruning power (§VI-C/§VI-E).
+
+The slice cap trades recovery-time work against run-time checkpoint
+stores: cap 0 disables pruning entirely; the paper's ~6-instruction blocks
+correspond to the default cap of 8.  Sweeping the cap shows where the
+returns diminish.
+"""
+
+from _util import emit, run_once
+
+from repro.core import compile_gecko
+from repro.runtime import run_to_completion
+from repro.workloads import source
+
+WORKLOADS = ("crc16", "dijkstra", "fft", "stringsearch", "qsort")
+CAPS = (1, 2, 4, 8, 16)
+
+
+def _experiment():
+    rows = {}
+    for name in WORKLOADS:
+        per_cap = []
+        unpruned = compile_gecko(source(name), prune=False)
+        base_cycles = run_to_completion(unpruned.linked).cycles
+        for cap in CAPS:
+            program = compile_gecko(source(name), max_slice_len=cap)
+            cycles = run_to_completion(program.linked).cycles
+            per_cap.append({
+                "cap": cap,
+                "checkpoints": program.checkpoint_stores,
+                "cycles": cycles,
+                "recovery_instrs": program.stats.recovery_block_instrs,
+            })
+        rows[name] = {
+            "unpruned_checkpoints": unpruned.checkpoint_stores,
+            "unpruned_cycles": base_cycles,
+            "sweep": per_cap,
+        }
+    return rows
+
+
+def test_ablation_pruning_cap(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'bench':14} {'cap':>4} {'ckpts':>6} {'cycles':>8} "
+             f"{'rec instrs':>10}"]
+    for name, data in rows.items():
+        lines.append(f"{name:14} {'off':>4} "
+                     f"{data['unpruned_checkpoints']:6d} "
+                     f"{data['unpruned_cycles']:8d} {'-':>10}")
+        for point in data["sweep"]:
+            lines.append(
+                f"{'':14} {point['cap']:4d} {point['checkpoints']:6d} "
+                f"{point['cycles']:8d} {point['recovery_instrs']:10d}"
+            )
+    emit("ablation_pruning_cap", lines)
+
+    for name, data in rows.items():
+        sweep = data["sweep"]
+        ckpts = [p["checkpoints"] for p in sweep]
+        # A looser cap never keeps more checkpoints...
+        assert all(a >= b for a, b in zip(ckpts, ckpts[1:])), name
+        # ...and pruning at the default cap beats no pruning.
+        assert sweep[-2]["checkpoints"] <= data["unpruned_checkpoints"], name
+        assert sweep[-2]["cycles"] <= data["unpruned_cycles"], name

@@ -1,0 +1,47 @@
+"""Fig. 5 — Remote attack vs frequency on ADC-monitored platforms.
+
+A 35 dBm tone from 5 m is swept against every ADC-monitored board; each
+shows a deep forward-progress dip at its resonance (27 MHz for the MSP430
+family, 17-18 MHz for the STM32) and no effect in the quiet band.
+"""
+
+from _util import bar, emit, run_once
+
+from repro.emi import device, device_names
+from repro.eval import fmt_pct, frequency_sweep_mhz, sweep_device
+
+BOARDS = ["TI-MSP430FR2311", "TI-MSP430FR5739", "TI-MSP430FR5994",
+          "STM32L552ZE"]
+FREQS = frequency_sweep_mhz(start=5, stop=45, step=4, sparse_to=500,
+                            sparse_step=150)
+
+
+def _experiment():
+    return {
+        name: sweep_device(name, "adc", injection="remote",
+                           freqs_mhz=FREQS, duration_s=0.03)
+        for name in BOARDS
+    }
+
+
+def test_fig05_remote_adc(benchmark):
+    sweeps = run_once(benchmark, _experiment)
+    lines = []
+    for name, sweep in sweeps.items():
+        lines.append(f"-- {name}")
+        for point in sweep.points:
+            lines.append(
+                f"  {point.freq_mhz:6.0f} MHz  R={fmt_pct(point.progress_rate):>8}"
+                f"  {bar(1 - point.progress_rate)}"
+            )
+        lines.append(
+            f"  min R = {fmt_pct(sweep.min_rate)} @ "
+            f"{sweep.min_rate_freq_mhz:.0f} MHz"
+        )
+    emit("fig05_remote_adc", lines)
+
+    for name, sweep in sweeps.items():
+        profile = device(name)
+        assert sweep.min_rate < 0.2, name
+        expected = profile.adc_curve.peak_frequency() / 1e6
+        assert abs(sweep.min_rate_freq_mhz - expected) <= 4, name

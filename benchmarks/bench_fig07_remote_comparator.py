@@ -1,0 +1,46 @@
+"""Fig. 7 — Remote attack vs frequency on comparator-monitored platforms.
+
+Comparator monitors act as continuous 1-bit ADCs, so at their resonant
+frequencies forward progress collapses to essentially zero — orders of
+magnitude below the ADC boards (Table I's 1e-2 % rows).
+"""
+
+from _util import bar, emit, run_once
+
+from repro.eval import fmt_pct, frequency_sweep_mhz, sweep_device
+
+BOARDS = ["TI-MSP430FR5994", "TI-MSP430FR6989"]
+FREQS = frequency_sweep_mhz(start=3, stop=35, step=2, sparse_to=300,
+                            sparse_step=100)
+
+
+def _experiment():
+    return {
+        name: sweep_device(name, "comp", injection="remote",
+                           freqs_mhz=FREQS, duration_s=0.03)
+        for name in BOARDS
+    }
+
+
+def test_fig07_remote_comparator(benchmark):
+    sweeps = run_once(benchmark, _experiment)
+    lines = []
+    for name, sweep in sweeps.items():
+        lines.append(f"-- {name} (comparator monitor)")
+        for point in sweep.points:
+            lines.append(
+                f"  {point.freq_mhz:6.0f} MHz  R={fmt_pct(point.progress_rate):>8}"
+                f"  {bar(1 - point.progress_rate)}"
+            )
+        lines.append(
+            f"  min R = {fmt_pct(sweep.min_rate)} @ "
+            f"{sweep.min_rate_freq_mhz:.0f} MHz"
+        )
+    emit("fig07_remote_comparator", lines)
+
+    # FR5994's comparator resonates at 5-6 MHz, FR6989's at 27 MHz, and the
+    # dips are near-total DoS (paper: ~1e-2 %).
+    assert sweeps["TI-MSP430FR5994"].min_rate < 0.01
+    assert sweeps["TI-MSP430FR5994"].min_rate_freq_mhz <= 9
+    assert sweeps["TI-MSP430FR6989"].min_rate < 0.01
+    assert abs(sweeps["TI-MSP430FR6989"].min_rate_freq_mhz - 27) <= 2

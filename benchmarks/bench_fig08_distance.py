@@ -1,0 +1,46 @@
+"""Fig. 8 — Attack distance vs transmit power (through one wall).
+
+The paper launches the remote attack from 0-5 m outside a closed room and
+finds effectiveness proportional to transmit power: higher power extends
+the usable attack distance, with 35 dBm comfortably covering 5 m.
+"""
+
+from _util import emit, run_once
+
+from repro.eval import distance_grid, fmt_pct, max_effective_distance
+
+DISTANCES = [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0]
+POWERS = [0, 10, 20, 30, 35]
+
+
+def _experiment():
+    return distance_grid(distances_m=DISTANCES, powers_dbm=POWERS,
+                         walls=1, duration_s=0.03)
+
+
+def test_fig08_distance(benchmark):
+    points = run_once(benchmark, _experiment)
+    lines = ["forward-progress rate by (distance, TX power), 1 wall",
+             "      " + "".join(f"{p:>8}dBm" for p in POWERS)]
+    for distance in DISTANCES:
+        row = [p for p in points if p.distance_m == distance]
+        row.sort(key=lambda p: p.tx_dbm)
+        lines.append(
+            f"{distance:4.1f}m " + "".join(
+                f"{fmt_pct(p.progress_rate):>11}" for p in row
+            )
+        )
+    reach35 = max_effective_distance(points, 35)
+    reach10 = max_effective_distance(points, 10)
+    lines.append("")
+    lines.append(f"effective attack range @35dBm: {reach35:.1f} m")
+    lines.append(f"effective attack range @10dBm: {reach10:.1f} m")
+    emit("fig08_distance", lines)
+
+    # The paper's relationships: 35 dBm reaches at least 5 m (even through
+    # a wall), range shrinks with power, and low power barely reaches.
+    assert reach35 >= 5.0
+    assert reach35 >= reach10
+    near = [p for p in points if p.distance_m == 0.5 and p.tx_dbm == 35]
+    far = [p for p in points if p.distance_m == 12.0 and p.tx_dbm == 35]
+    assert near[0].progress_rate <= far[0].progress_rate

@@ -1,0 +1,53 @@
+"""Fig. 9 — Real-time attack control on the MSP430FR5994.
+
+By hopping the tone among frequencies of different coupling strength the
+adversary dials the victim's forward-progress rate up and down over time —
+full DoS at resonance, partial degradation off-peak, stealthy quiet gaps.
+Panel (a) uses the ADC monitor, panel (b) the comparator.
+"""
+
+from _util import bar, emit, run_once
+
+from repro.eval import fmt_pct, realtime_control
+
+COMP_SEGMENTS = (
+    (0.2, None),
+    (0.2, 5.0),     # comparator resonance: total DoS
+    (0.2, None),
+    (0.2, 8.0),     # shoulder
+    (0.2, 5.0),
+)
+
+
+def _experiment():
+    return {
+        "adc": realtime_control(monitor_kind="adc", total_s=0.15),
+        "comp": realtime_control(monitor_kind="comp",
+                                 segments=COMP_SEGMENTS, total_s=0.15),
+    }
+
+
+def test_fig09_realtime(benchmark):
+    panels = run_once(benchmark, _experiment)
+    lines = []
+    for panel, segments in panels.items():
+        lines.append(f"-- MSP430FR5994, {panel} monitor")
+        for seg in segments:
+            tone = "quiet " if seg.freq_mhz is None else f"{seg.freq_mhz:4.0f}MHz"
+            lines.append(
+                f"  t={seg.start_s*1000:5.0f}..{seg.end_s*1000:5.0f}ms "
+                f"{tone}  R={fmt_pct(seg.progress_rate):>8}  "
+                f"{bar(seg.progress_rate)}"
+            )
+    emit("fig09_realtime", lines)
+
+    adc = panels["adc"]
+    # Quiet segments run at full speed; resonant segments are DoS'd; the
+    # shoulder frequency produces an intermediate, attacker-chosen rate.
+    assert adc[0].progress_rate > 0.9
+    assert adc[1].progress_rate < 0.15
+    assert adc[2].progress_rate > 0.9
+    assert adc[1].progress_rate <= adc[4].progress_rate <= adc[2].progress_rate
+    comp = panels["comp"]
+    assert comp[1].progress_rate < 0.01
+    assert comp[0].progress_rate > 0.9

@@ -1,0 +1,42 @@
+"""Fig. 11 — Normalized execution time without power outages.
+
+NVP (pure JIT checkpointing) is the baseline.  The paper measures Ratchet
+at ~2.4x, GECKO without pruning at ~1.3x, and full GECKO at ~1.06x; the
+reproduction should preserve that ordering and the rough magnitudes.
+"""
+
+from _util import bar, emit, run_once
+
+from repro.eval import SCHEMES, figure11, geomean
+
+
+def _experiment():
+    return figure11()
+
+
+def test_fig11_overhead(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [
+        f"{'bench':14} " + "".join(f"{s:>17}" for s in SCHEMES)
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workload:14} "
+            + "".join(f"{row.normalized(s):16.2f}x" for s in SCHEMES)
+        )
+    means = {s: geomean([r.normalized(s) for r in rows]) for s in SCHEMES}
+    lines.append(
+        f"{'GEOMEAN':14} " + "".join(f"{means[s]:16.2f}x" for s in SCHEMES)
+    )
+    lines.append("")
+    lines.append("paper: ratchet ~2.4x, gecko w/o pruning ~1.3x, gecko ~1.06x")
+    emit("fig11_overhead", lines)
+
+    # Ordering: nvp <= gecko <= gecko-nopruning <= ratchet (geomean).
+    assert means["nvp"] == 1.0
+    assert means["gecko"] <= means["gecko-nopruning"] + 1e-9
+    assert means["gecko-nopruning"] < means["ratchet"]
+    # Magnitudes in the right regime.
+    assert means["ratchet"] > 1.8
+    assert means["gecko"] < 1.6
+    assert means["gecko-nopruning"] < 2.0

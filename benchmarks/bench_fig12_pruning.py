@@ -1,0 +1,39 @@
+"""Fig. 12 — Checkpoint-store reduction from pruning.
+
+Static checkpoint counts of GECKO with pruning vs without: the gray boxes
+of the paper's figure are the pruned stores.  The paper reports ~80%
+removed; how much of that our stricter, machine-checked soundness rules
+recover is recorded in EXPERIMENTS.md.
+"""
+
+from _util import bar, emit, run_once
+
+from repro.eval import figure12
+
+
+def _experiment():
+    return figure12()
+
+
+def test_fig12_pruning(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'bench':14} {'unpruned':>9} {'pruned':>8} {'removed':>9}"]
+    for row in rows:
+        lines.append(
+            f"{row.workload:14} {row.unpruned:9d} {row.pruned:8d} "
+            f"{row.reduction*100:8.0f}%  {bar(row.reduction)}"
+        )
+    total_unpruned = sum(r.unpruned for r in rows)
+    total_pruned = sum(r.pruned for r in rows)
+    overall = 1 - total_pruned / total_unpruned
+    lines.append(f"{'TOTAL':14} {total_unpruned:9d} {total_pruned:8d} "
+                 f"{overall*100:8.0f}%")
+    lines.append("")
+    lines.append("paper: ~80% of checkpoint stores removed")
+    emit("fig12_pruning", lines)
+
+    # Pruning must never add checkpoints and must remove a substantial
+    # fraction overall.
+    assert all(r.pruned <= r.unpruned for r in rows)
+    assert overall > 0.25
+    assert any(r.reduction > 0.4 for r in rows)

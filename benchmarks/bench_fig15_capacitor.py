@@ -1,0 +1,47 @@
+"""Fig. 15 — Total execution time vs capacitor size (1/2/5/10 mF).
+
+All sizes buffer the same usable energy (thresholds adjusted, §VII-D);
+larger capacitors recharge more slowly, so total time for a fixed batch of
+application runs grows with size, with NVP and GECKO tracking each other.
+"""
+
+from _util import emit, run_once
+
+from repro.eval import CAPACITOR_SIZES_F, figure15
+
+
+def _experiment():
+    return figure15(workload="crc32")
+
+
+def test_fig15_capacitor(benchmark):
+    points = run_once(benchmark, _experiment)
+    lines = [f"{'capacitor':>10} {'scheme':>8} {'time for batch':>15} "
+             f"{'completions':>12}"]
+    for p in points:
+        lines.append(
+            f"{p.capacitance_f*1000:8.0f}mF {p.scheme:>8} "
+            f"{p.total_time_s:13.2f}s {p.completions:12d}"
+        )
+    lines.append("")
+    lines.append("paper: time rises with capacitance; NVP ~= GECKO; "
+                 "1 mF is optimal")
+    emit("fig15_capacitor", lines)
+
+    for scheme in ("nvp", "gecko"):
+        series = sorted(
+            (p for p in points if p.scheme == scheme),
+            key=lambda p: p.capacitance_f,
+        )
+        # Fixed batch completed fastest at the smallest size; total time is
+        # non-decreasing with capacitance.
+        times = [p.total_time_s for p in series]
+        assert times[0] == min(times), scheme
+        assert times[-1] == max(times), scheme
+    # NVP and GECKO track each other at every size (within 2x).
+    nvp = {p.capacitance_f: p.total_time_s for p in points if p.scheme == "nvp"}
+    gecko = {p.capacitance_f: p.total_time_s for p in points
+             if p.scheme == "gecko"}
+    for size in CAPACITOR_SIZES_F:
+        ratio = gecko[size] / nvp[size]
+        assert 0.5 <= ratio <= 2.0

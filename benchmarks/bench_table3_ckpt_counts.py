@@ -1,0 +1,49 @@
+"""Table III + §VII-C — static checkpoint counts and code-size analysis.
+
+The number of checkpoint stores GECKO leaves in each application binary,
+the recovery-block statistics (the paper: ~7 blocks/app of ~6 instructions,
+a ~130-instruction lookup table) and the binary-size overhead (~6%).
+"""
+
+from _util import emit, run_once
+
+from repro.eval import table3
+
+#: Table III's measured checkpoint counts, for the printed comparison.
+PAPER_COUNTS = {
+    "basicmath": 150, "bitcnt": 83, "blink": 6, "crc16": 20, "crc32": 58,
+    "dhrystone": 139, "dijkstra": 108, "fft": 303, "fir": 41, "qsort": 59,
+    "stringsearch": 1128,
+}
+
+
+def _experiment():
+    return table3()
+
+
+def test_table3_ckpt_counts(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'bench':14} {'#ckpt (paper)':>14} {'regions':>8} "
+             f"{'recblocks':>10} {'avg len':>8} {'lookup':>7} {'size ovh':>9}"]
+    for row in rows:
+        paper = PAPER_COUNTS.get(row.workload, "-")
+        lines.append(
+            f"{row.workload:14} {row.checkpoint_stores:6d} ({paper:>5}) "
+            f"{row.regions:8d} {row.recovery_blocks:10d} "
+            f"{row.avg_recovery_block_len:8.1f} {row.lookup_table_size:7d} "
+            f"{row.code_size_overhead*100:8.1f}%"
+        )
+    avg_ckpt = sum(r.checkpoint_stores for r in rows) / len(rows)
+    avg_blocks = sum(r.recovery_blocks for r in rows) / len(rows)
+    avg_ovh = sum(r.code_size_overhead for r in rows) / len(rows)
+    lines.append("")
+    lines.append(f"average checkpoints/app: {avg_ckpt:.0f} (paper: 81)")
+    lines.append(f"average recovery blocks/app: {avg_blocks:.1f} (paper: ~7)")
+    lines.append(f"average code-size overhead: {avg_ovh*100:.1f}% (paper: ~6%)")
+    emit("table3_ckpt_counts", lines)
+
+    # Shape: checkpoint counts are tens-per-app, recovery blocks are small,
+    # and the total size overhead stays modest.
+    assert 5 <= avg_ckpt <= 300
+    assert all(r.avg_recovery_block_len <= 8.5 for r in rows)
+    assert avg_ovh < 0.8

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""EMI red-team lab: characterize the attack surface of the device catalog.
+
+Reproduces the paper's §IV methodology interactively:
+
+  * sweep a remote 35 dBm tone across frequencies for every platform and
+    find each board's vulnerable band (Fig. 5 / Table I);
+  * compare ADC vs comparator monitors on the FR5994 (Fig. 7);
+  * map attack effectiveness over distance and transmit power (Fig. 8).
+
+Run:  python examples/emi_attack_lab.py
+"""
+
+from repro.emi import device, device_names
+from repro.eval import (
+    distance_grid,
+    fmt_pct,
+    max_effective_distance,
+    sweep_device,
+)
+
+
+def bar(rate: float, width: int = 24) -> str:
+    return "#" * int(round((1.0 - rate) * width))
+
+
+def main() -> None:
+    freqs = [5, 9, 13, 17, 21, 25, 27, 29, 33, 37, 45, 80, 200]
+
+    print("== Remote sweep, ADC monitors (35 dBm @ 5 m) ==")
+    print("   deeper bar = less forward progress (DoS)")
+    for name in device_names():
+        sweep = sweep_device(name, "adc", freqs_mhz=freqs, duration_s=0.02)
+        print(f"\n  {name}")
+        for point in sweep.points:
+            print(f"    {point.freq_mhz:5.0f} MHz "
+                  f"R={fmt_pct(point.progress_rate):>8} "
+                  f"|{bar(point.progress_rate)}")
+        print(f"    -> most effective tone: "
+              f"{sweep.min_rate_freq_mhz:.0f} MHz "
+              f"(R = {fmt_pct(sweep.min_rate)})")
+
+    print("\n== ADC vs comparator on the MSP430FR5994 ==")
+    comp_freqs = [3, 5, 6, 8, 15, 27]
+    adc = sweep_device("TI-MSP430FR5994", "adc", freqs_mhz=comp_freqs,
+                       duration_s=0.02)
+    comp = sweep_device("TI-MSP430FR5994", "comp", freqs_mhz=comp_freqs,
+                        duration_s=0.02)
+    print(f"  {'MHz':>5} {'ADC':>9} {'comparator':>11}")
+    for a, c in zip(adc.points, comp.points):
+        print(f"  {a.freq_mhz:5.0f} {fmt_pct(a.progress_rate):>9} "
+              f"{fmt_pct(c.progress_rate):>11}")
+
+    print("\n== Attack range (through one wall) ==")
+    points = distance_grid(distances_m=[0.5, 1, 2, 3, 5, 8, 12],
+                           powers_dbm=[10, 20, 30, 35], duration_s=0.02)
+    for dbm in (10, 20, 30, 35):
+        reach = max_effective_distance(points, dbm)
+        print(f"  {dbm:2d} dBm: effective to ~{reach:.1f} m")
+
+
+if __name__ == "__main__":
+    main()

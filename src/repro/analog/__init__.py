@@ -1,0 +1,5 @@
+"""Analog front-end: ADC- and comparator-based voltage monitors."""
+
+from .monitor import ADCMonitor, ComparatorMonitor, MonitorEvent, make_monitor
+
+__all__ = ["ADCMonitor", "ComparatorMonitor", "MonitorEvent", "make_monitor"]

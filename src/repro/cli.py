@@ -1,0 +1,264 @@
+"""Command-line interface: compile, run, simulate, attack — from a shell.
+
+Installed as ``repro-gecko`` (see pyproject) and runnable as
+``python -m repro``.  Subcommands:
+
+* ``workloads``             — list the bundled benchmark applications;
+* ``devices``               — list the Table I platform catalog;
+* ``compile  <prog>``       — compile and print instrumentation statistics
+  (``--dump`` prints the final assembly);
+* ``run      <prog>``       — execute on stable power, print the output;
+* ``simulate <prog>``       — intermittent simulation with a chosen
+  harvester, optional EMI attack, and an optional ASCII trace;
+* ``sweep``                 — frequency-sweep one device/monitor pair.
+
+``<prog>`` is either a bundled workload name or a path to a MiniC file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .core import compile_scheme
+from .emi import AttackSchedule, EMISource, RemotePath, device, device_names
+from .energy import (
+    Capacitor,
+    ConstantSupply,
+    PowerSystem,
+    RFHarvester,
+    SquareWaveHarvester,
+)
+from .runtime import (
+    IntermittentSimulator,
+    Machine,
+    SimConfig,
+    Tracer,
+    run_to_completion,
+    runtime_for,
+)
+from .workloads import WORKLOAD_NAMES, source
+
+
+def _load_source(program: str) -> str:
+    if program in WORKLOAD_NAMES:
+        return source(program)
+    if os.path.exists(program):
+        with open(program) as handle:
+            return handle.read()
+    raise SystemExit(
+        f"error: {program!r} is neither a bundled workload "
+        f"({', '.join(WORKLOAD_NAMES)}) nor a readable file"
+    )
+
+
+def _add_program_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program",
+                        help="bundled workload name or MiniC file path")
+    parser.add_argument("--scheme", default="gecko",
+                        choices=["nvp", "ratchet", "gecko",
+                                 "gecko-nopruning"],
+                        help="crash-consistency compilation scheme")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="region power-on budget in cycles (gecko only)")
+
+
+def _compile(args) -> object:
+    kwargs = {}
+    if args.budget is not None and args.scheme.startswith("gecko"):
+        kwargs["region_budget"] = args.budget
+    return compile_scheme(_load_source(args.program), args.scheme, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Subcommands.
+# ----------------------------------------------------------------------
+def cmd_workloads(args) -> int:
+    for name in WORKLOAD_NAMES:
+        lines = source(name).strip().splitlines()
+        blurb = lines[0].lstrip("/ ") if lines else ""
+        print(f"{name:14s} {blurb}")
+    return 0
+
+
+def cmd_devices(args) -> int:
+    print(f"{'model':26} {'monitors':12} {'ADC resonances (MHz)'}")
+    for name in device_names():
+        profile = device(name)
+        freqs = ", ".join(
+            f"{f/1e6:.0f}" for f in profile.adc_curve.resonant_frequencies()
+        )
+        print(f"{name:26} {'+'.join(profile.monitors):12} {freqs}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    program = _compile(args)
+    stats = program.stats
+    print(f"scheme:              {program.scheme}")
+    print(f"code size:           {stats.code_size} instructions")
+    print(f"regions:             {program.region_count}")
+    print(f"checkpoint stores:   {program.checkpoint_stores}")
+    if program.scheme.startswith("gecko"):
+        print(f"pruning removed:     {stats.pruning_reduction:.0%}")
+        print(f"recovery blocks:     {stats.recovery_blocks} "
+              f"(avg {stats.avg_recovery_block_len:.1f} instrs)")
+        print(f"lookup table:        ~{stats.lookup_table_size} words")
+    if args.dump:
+        print()
+        for index, instr in enumerate(program.linked.instrs):
+            print(f"{index:5d}: {instr}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _compile(args)
+    machine = run_to_completion(program.linked,
+                                max_steps=args.max_steps)
+    print(f"output:  {machine.committed_out}")
+    print(f"cycles:  {machine.cycles}")
+    print(f"instrs:  {machine.instr_count}")
+    return 0
+
+
+def _build_power(args) -> PowerSystem:
+    capacitor = Capacitor(args.capacitor * 1e-6)
+    if args.harvester == "bench":
+        harvester = ConstantSupply(0.5)
+    elif args.harvester == "outage":
+        harvester = SquareWaveHarvester(on_power_w=6e-3, period_s=0.02,
+                                        duty=0.4)
+    elif args.harvester == "rf":
+        harvester = RFHarvester(distance_m=2.0)
+    else:  # weak
+        harvester = SquareWaveHarvester(on_power_w=5e-3, period_s=0.16,
+                                        duty=0.4)
+    return PowerSystem(capacitor=capacitor, harvester=harvester)
+
+
+def cmd_simulate(args) -> int:
+    program = _compile(args)
+    power = _build_power(args)
+    attack = AttackSchedule.silent()
+    if args.attack:
+        try:
+            freq_text, dbm_text = args.attack.split(",")
+            attack = AttackSchedule.always(
+                EMISource(float(freq_text) * 1e6, float(dbm_text))
+            )
+        except ValueError:
+            raise SystemExit("error: --attack expects MHZ,DBM (e.g. 27,35)")
+    tracer = Tracer(sample_period_s=args.duration / 400) if args.trace \
+        else None
+    sim = IntermittentSimulator(
+        machine=Machine(program.linked),
+        runtime=runtime_for(program),
+        power=power,
+        attack=attack,
+        path=RemotePath(distance_m=args.distance),
+        device_profile=device(args.device),
+        monitor_kind=args.monitor,
+        config=SimConfig(quantum=64, sleep_min_s=1e-3),
+        tracer=tracer,
+    )
+    result = sim.run(args.duration)
+    print(f"completions:          {result.completions}")
+    print(f"reboots:              {result.reboots}  "
+          f"(brownouts: {result.brownouts})")
+    print(f"checkpoints:          {result.jit_checkpoints} ok, "
+          f"{result.jit_checkpoint_failures} failed")
+    if result.attacks_detected:
+        print(f"attacks detected:     {result.attacks_detected}")
+    if result.machine_fault:
+        print(f"DEVICE FAULT:         {result.machine_fault}")
+    print(f"final state:          {result.final_state}")
+    if tracer is not None:
+        print()
+        print(tracer.render(
+            thresholds=[power.v_backup, power.v_on],
+            v_min=power.v_off - 0.2,
+            v_max=power.capacitor.v_max + 0.1,
+        ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .eval import fmt_pct, frequency_sweep_mhz, sweep_device
+    freqs = frequency_sweep_mhz(start=args.start, stop=args.stop,
+                                step=args.step, sparse_to=args.stop)
+    result = sweep_device(args.device, args.monitor, freqs_mhz=freqs,
+                          duration_s=0.03)
+    for point in result.points:
+        bar = "#" * int(round((1 - point.progress_rate) * 30))
+        print(f"{point.freq_mhz:6.0f} MHz  "
+              f"R={fmt_pct(point.progress_rate):>8}  {bar}")
+    print(f"\nmost effective tone: {result.min_rate_freq_mhz:.0f} MHz "
+          f"(R = {fmt_pct(result.min_rate)})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser.
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gecko",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list bundled workloads") \
+        .set_defaults(func=cmd_workloads)
+    sub.add_parser("devices", help="list the platform catalog") \
+        .set_defaults(func=cmd_devices)
+
+    p = sub.add_parser("compile", help="compile and show statistics")
+    _add_program_args(p)
+    p.add_argument("--dump", action="store_true",
+                   help="print the final instruction stream")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute on stable power")
+    _add_program_args(p)
+    p.add_argument("--max-steps", type=int, default=10_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("simulate", help="intermittent simulation")
+    _add_program_args(p)
+    p.add_argument("--duration", type=float, default=0.2,
+                   help="simulated seconds")
+    p.add_argument("--harvester", default="outage",
+                   choices=["bench", "outage", "weak", "rf"])
+    p.add_argument("--capacitor", type=float, default=22.0,
+                   help="capacitance in microfarads")
+    p.add_argument("--attack", default=None, metavar="MHZ,DBM",
+                   help="continuous tone, e.g. 27,35")
+    p.add_argument("--distance", type=float, default=5.0,
+                   help="attacker distance in meters")
+    p.add_argument("--device", default="TI-MSP430FR5994",
+                   choices=device_names())
+    p.add_argument("--monitor", default="adc", choices=["adc", "comp"])
+    p.add_argument("--trace", action="store_true",
+                   help="render an ASCII voltage/event trace")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("sweep", help="frequency-sweep a device")
+    p.add_argument("--device", default="TI-MSP430FR5994",
+                   choices=device_names())
+    p.add_argument("--monitor", default="adc", choices=["adc", "comp"])
+    p.add_argument("--start", type=float, default=5)
+    p.add_argument("--stop", type=float, default=45)
+    p.add_argument("--step", type=float, default=4)
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

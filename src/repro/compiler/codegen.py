@@ -1,0 +1,57 @@
+"""Code generation: allocated IR -> machine program.
+
+The IR's fully explicit control flow is flattened per function in block
+order; jumps to the lexically next block are folded into fallthrough.  Data
+symbols are copied from the module, and each function with a non-empty
+static frame (locals + spill slots) gets its ``__frame_<f>`` symbol here —
+after register allocation, when the frame size is final.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import CompileError
+from ..isa.instructions import Instr, Opcode
+from ..isa.operands import PReg
+from ..ir.cfg import Function, Module
+from ..isa.program import MachineFunction, MachineProgram
+
+
+def lower_function(function: Function) -> MachineFunction:
+    """Flatten one allocated IR function into a machine function."""
+    machine = MachineFunction(function.name)
+    order = [n for n in function.block_order]
+    # The entry block must come first in the flat layout.
+    if order and order[0] != function.entry:
+        order.remove(function.entry)
+        order.insert(0, function.entry)
+    for position, name in enumerate(order):
+        machine.labels[name] = len(machine.body)
+        block = function.blocks[name]
+        next_block = order[position + 1] if position + 1 < len(order) else None
+        for i, instr in enumerate(block.instrs):
+            for reg in instr.defs() + instr.uses():
+                if not isinstance(reg, PReg):
+                    raise CompileError(
+                        f"{function.name}:{name}: virtual register survives "
+                        f"to codegen in {instr}"
+                    )
+            is_last = i == len(block.instrs) - 1
+            if (is_last and instr.op is Opcode.JMP
+                    and instr.target.name == next_block):
+                continue  # fallthrough
+            machine.body.append(instr.copy())
+    return machine
+
+
+def lower_module(module: Module) -> MachineProgram:
+    """Flatten an allocated IR module into a machine program."""
+    program = MachineProgram(entry=module.entry)
+    for name, size in module.globals.items():
+        program.add_data(name, size, module.init.get(name))
+    for name, function in module.functions.items():
+        if function.frame_size > 0:
+            program.add_data(function.frame_symbol, function.frame_size)
+        program.add_function(lower_function(function))
+    return program

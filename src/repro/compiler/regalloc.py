@@ -1,0 +1,157 @@
+"""Linear-scan register allocation onto the 12 allocatable registers.
+
+Virtual registers are mapped to R4..R15.  Registers live across a ``CALL``
+are force-spilled because the callee freely reuses the physical register
+file (caller-save-everything, the simple convention small MCU compilers
+use).  Spilled values get a slot in the function's static frame; every use
+reloads into one of the scratch registers R1..R3 and every definition
+stores back.
+
+Spilling keeps programs correct under any register pressure, and — relevant
+to this paper — spill traffic is ordinary NVM memory traffic, so it
+participates in idempotent-region formation exactly like program stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import CompileError
+from ..isa.instructions import Instr, Opcode
+from ..isa.operands import ALLOCATABLE, Imm, PReg, SCRATCH, Sym, VReg
+from ..ir.cfg import Function
+from ..ir.liveness import live_intervals
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of register allocation for one function."""
+
+    assignment: Dict[VReg, PReg] = field(default_factory=dict)
+    spilled: Dict[VReg, int] = field(default_factory=dict)  # vreg -> frame slot
+
+    @property
+    def spill_count(self) -> int:
+        return len(self.spilled)
+
+
+def allocate_function(function: Function) -> AllocationResult:
+    """Rewrite ``function`` in place so it only mentions physical registers."""
+    intervals = {
+        reg: span for reg, span in live_intervals(function).items()
+        if isinstance(reg, VReg)
+    }
+    call_points = _call_points(function)
+
+    result = AllocationResult()
+    for vreg, (start, end) in intervals.items():
+        if any(start < point < end for point in call_points):
+            result.spilled[vreg] = function.alloc_frame(1)
+
+    # Classic linear scan over the remaining candidates.
+    candidates = sorted(
+        (reg for reg in intervals if reg not in result.spilled),
+        key=lambda reg: intervals[reg],
+    )
+    active: List[VReg] = []
+    free: List[int] = sorted(ALLOCATABLE, reverse=True)
+
+    def expire(point: int) -> None:
+        for reg in list(active):
+            if intervals[reg][1] < point:
+                active.remove(reg)
+                free.append(result.assignment[reg].index)
+                free.sort(reverse=True)
+
+    for vreg in candidates:
+        start, end = intervals[vreg]
+        expire(start)
+        if free:
+            result.assignment[vreg] = PReg(free.pop())
+            active.append(vreg)
+            continue
+        # Spill the active interval ending last (or this one).
+        victim = max(active, key=lambda reg: intervals[reg][1])
+        if intervals[victim][1] > end:
+            result.assignment[vreg] = result.assignment.pop(victim)
+            active.remove(victim)
+            active.append(vreg)
+            result.spilled[victim] = function.alloc_frame(1)
+        else:
+            result.spilled[vreg] = function.alloc_frame(1)
+
+    _rewrite(function, result)
+    return result
+
+
+def _call_points(function: Function) -> List[int]:
+    """Linear positions of CALL instructions (matching live-interval numbering)."""
+    points: List[int] = []
+    counter = 0
+    for name in function.block_order:
+        for instr in function.blocks[name].instrs:
+            if instr.op is Opcode.CALL:
+                points.append(counter)
+            counter += 1
+    return points
+
+
+def _rewrite(function: Function, result: AllocationResult) -> None:
+    frame = Sym(function.frame_symbol)
+    for name in function.block_order:
+        block = function.blocks[name]
+        new_instrs: List[Instr] = []
+        for instr in block.instrs:
+            mapping: Dict[VReg, PReg] = {}
+            reloads: List[Instr] = []
+            spill_stores: List[Instr] = []
+            scratch_pool = list(SCRATCH)
+
+            def scratch() -> PReg:
+                if not scratch_pool:
+                    raise CompileError("out of scratch registers during spill")
+                return PReg(scratch_pool.pop(0))
+
+            for reg in instr.uses():
+                if not isinstance(reg, VReg) or reg in mapping:
+                    continue
+                if reg in result.spilled:
+                    temp = scratch()
+                    mapping[reg] = temp
+                    reloads.append(
+                        Instr(Opcode.LD, dst=temp, sym=frame,
+                              off=Imm(result.spilled[reg]))
+                    )
+                else:
+                    mapping[reg] = result.assignment[reg]
+            for reg in instr.defs():
+                if not isinstance(reg, VReg):
+                    continue
+                if reg in result.spilled:
+                    if reg not in mapping:  # reuse the reload temp if any
+                        mapping[reg] = scratch()
+                    spill_stores.append(
+                        Instr(Opcode.ST, a=mapping[reg], sym=frame,
+                              off=Imm(result.spilled[reg]))
+                    )
+                elif reg not in mapping:
+                    mapping[reg] = result.assignment[reg]
+
+            new_instrs.extend(reloads)
+            new_instrs.append(instr.replace_regs(dict(mapping)))
+            new_instrs.extend(spill_stores)
+        block.instrs = new_instrs
+
+    # Terminators must stay block-final: spill stores after a BNZ/JMP would
+    # be misplaced, but branches never define registers, so only reloads
+    # (which go before) can be attached to them.  Verify that invariant.
+    function.verify()
+
+
+def allocate_module(module) -> Dict[str, AllocationResult]:
+    """Allocate every function of an IR module; returns per-function results."""
+    return {
+        name: allocate_function(function)
+        for name, function in module.functions.items()
+    }

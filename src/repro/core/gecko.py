@@ -1,0 +1,498 @@
+"""The GECKO compiler pipeline and the other compilation schemes.
+
+Public entry points:
+
+* :func:`compile_nvp`     — plain code generation, no instrumentation; crash
+  consistency comes entirely from the JIT checkpoint runtime (the baseline).
+* :func:`compile_ratchet` — idempotent regions + full register-file
+  checkpoints with the dynamic double buffer, *no* WCET splitting (Ratchet).
+* :func:`compile_gecko`   — the paper's five-step pipeline (§VI-B): region
+  formation, WCET analysis, region splitting, re-formation, then register
+  checkpointing with pruning (§VI-C), recovery blocks (§VI-E) and static
+  2-colored double buffering (§VI-D).
+
+Every compiled program carries per-region restore plans in the MARK
+instructions' ``meta['plan']``; the runtimes build their lookup tables from
+those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..errors import CompileError
+from ..isa.instructions import Instr, Opcode
+from ..isa.program import LinkedProgram, link
+from ..ir.cfg import Function, Module
+from ..ir.dominators import dominators
+from ..lang.lowering import compile_source
+from ..compiler.checkpoint import insert_checkpoints
+from ..compiler.codegen import lower_module
+from ..compiler.regalloc import allocate_module
+from ..compiler.region import (
+    form_regions,
+    renumber_regions,
+    unsatisfied_antideps,
+)
+from ..compiler.splitting import split_regions, verify_region_budget
+from .coloring import color_function, verify_coloring
+from .plans import RegionPlan, SliceExec, SlotLoad
+from .pruning import (
+    PruneResult,
+    collect_checkpoints,
+    locate_instr,
+    prune_function,
+    readonly_symbols,
+    unprune,
+)
+from .recovery import CkptInfo, SlotElement, materialize_slice
+
+#: Default guaranteed power-on budget in cycles (one full capacitor charge
+#: under worst-case draw — see PowerSystem.guaranteed_cycles(); a 1 mF
+#: buffer at MSP430-class draw sustains far more than this, so the default
+#: is conservative while leaving small kernels unsplit, as on real boards).
+DEFAULT_REGION_BUDGET = 50_000
+
+#: Cycle slack reserved when splitting so that the checkpoint stores later
+#: inserted at each boundary (up to 15 registers x 4 cycles) still fit.
+_SPLIT_MARGIN = 64
+
+#: Words of lookup-table overhead per region entry (id -> entry PC, inputs).
+_TABLE_WORDS_PER_REGION = 2
+
+
+@dataclass
+class CompileStats:
+    """Static metrics for the paper's Fig. 12, Tab. III and §VII-C."""
+
+    scheme: str = "gecko"
+    regions: int = 0
+    checkpoints_before_pruning: int = 0
+    checkpoints_after_pruning: int = 0
+    recovery_blocks: int = 0
+    recovery_block_instrs: int = 0
+    code_size: int = 0
+    spills: int = 0
+    #: Join-point coloring conflicts repaired by inserting a new region.
+    coloring_conflicts: int = 0
+    #: Registers that fell back to the per-register dynamic index (§VI-D).
+    dynamic_fallbacks: int = 0
+
+    @property
+    def pruning_reduction(self) -> float:
+        """Fraction of checkpoint stores removed by pruning (Fig. 12)."""
+        if not self.checkpoints_before_pruning:
+            return 0.0
+        return 1.0 - (self.checkpoints_after_pruning
+                      / self.checkpoints_before_pruning)
+
+    @property
+    def avg_recovery_block_len(self) -> float:
+        if not self.recovery_blocks:
+            return 0.0
+        return self.recovery_block_instrs / self.recovery_blocks
+
+    @property
+    def lookup_table_size(self) -> int:
+        """Instruction-equivalent size of the recovery lookup table (§VII-C)."""
+        return (_TABLE_WORDS_PER_REGION * self.regions
+                + self.recovery_block_instrs)
+
+    @property
+    def total_code_size(self) -> int:
+        """Binary size proxy: program + recovery blocks + lookup table."""
+        return self.code_size + self.lookup_table_size
+
+
+@dataclass
+class CompiledProgram:
+    """A linked executable plus its instrumentation metadata."""
+
+    linked: LinkedProgram
+    scheme: str
+    stats: CompileStats
+    module: Module
+    #: Per-function pruning results (gecko schemes only).
+    prune_results: Dict[str, PruneResult] = field(default_factory=dict)
+
+    @property
+    def checkpoint_stores(self) -> int:
+        """Static CKPT count in the final binary (Tab. III)."""
+        return self.linked.count_opcode(Opcode.CKPT)
+
+    @property
+    def region_count(self) -> int:
+        return self.linked.count_opcode(Opcode.MARK)
+
+
+SourceOrModule = Union[str, Module]
+
+
+def _prepare(source: SourceOrModule, optimize: bool = True) -> Module:
+    module = compile_source(source) if isinstance(source, str) else source
+    # The static-frame calling convention cannot express recursion; fail
+    # loudly here rather than miscompile (call_order raises on cycles).
+    module.call_order()
+    if optimize:
+        # Step 1 of the paper's pipeline: traditional optimizations on the
+        # IR before any crash-consistency instrumentation.  Constant
+        # propagation also exposes loop limits that were variables in the
+        # source, so re-run bound inference at the IR level afterwards.
+        from ..compiler.optimize import optimize_module
+        from ..ir.loops import infer_loop_bounds
+        optimize_module(module)
+        for function in module.functions.values():
+            infer_loop_bounds(function)
+    return module
+
+
+def compile_nvp(source: SourceOrModule,
+                optimize: bool = True) -> CompiledProgram:
+    """Compile with no software crash-consistency instrumentation."""
+    module = _prepare(source, optimize)
+    alloc = allocate_module(module)
+    linked = link(lower_module(module))
+    stats = CompileStats(
+        scheme="nvp", code_size=linked.code_size(),
+        spills=sum(a.spill_count for a in alloc.values()),
+    )
+    return CompiledProgram(linked=linked, scheme="nvp", stats=stats,
+                           module=module)
+
+
+def compile_ratchet(source: SourceOrModule,
+                    optimize: bool = True) -> CompiledProgram:
+    """Compile the Ratchet baseline: idempotent regions, full-RF checkpoints.
+
+    Faithful to the paper's characterisation: no WCET-driven splitting
+    (Ratchet regions can exceed a charge cycle, §VII-B3) and the dynamic
+    double-buffer index flip rather than static coloring.
+    """
+    module = _prepare(source, optimize)
+    alloc = allocate_module(module)
+    for function in module.functions.values():
+        form_regions(function, loop_headers=True)
+        insert_checkpoints(function, policy="ratchet")
+        _check_idempotent(function)
+    renumber_regions(module)
+    for function in module.functions.values():
+        _attach_plans(function, collect_checkpoints(function))
+    linked = link(lower_module(module))
+    stats = CompileStats(
+        scheme="ratchet",
+        regions=linked.count_opcode(Opcode.MARK),
+        checkpoints_before_pruning=linked.count_opcode(Opcode.CKPT),
+        checkpoints_after_pruning=linked.count_opcode(Opcode.CKPT),
+        code_size=linked.code_size(),
+        spills=sum(a.spill_count for a in alloc.values()),
+    )
+    return CompiledProgram(linked=linked, scheme="ratchet", stats=stats,
+                           module=module)
+
+
+def compile_gecko(source: SourceOrModule,
+                  region_budget: int = DEFAULT_REGION_BUDGET,
+                  prune: bool = True,
+                  max_slice_len: Optional[int] = None,
+                  optimize: bool = True) -> CompiledProgram:
+    """Run the full GECKO pipeline.
+
+    Args:
+        source: MiniC text or an already-lowered IR module.
+        region_budget: guaranteed power-on cycles every region must fit in.
+        prune: disable to get the "GECKO w/o pruning" configuration (Fig. 11).
+        max_slice_len: recovery-block length cap (default from recovery).
+        optimize: run the classic middle-end passes first (pipeline step 1).
+    """
+    module = _prepare(source, optimize)
+    alloc = allocate_module(module)
+    readonly = readonly_symbols(module)
+    stats = CompileStats(scheme="gecko" if prune else "gecko-nopruning")
+    prune_results: Dict[str, PruneResult] = {}
+
+    for name, function in module.functions.items():
+        # Steps 2-4: form regions, split against the WCET budget, re-form.
+        form_regions(function)
+        split_regions(function, max(region_budget - _SPLIT_MARGIN, 32))
+        form_regions(function)
+        # Step 5: checkpoint the register inputs of every region.
+        before = insert_checkpoints(function, policy="gecko")
+        stats.checkpoints_before_pruning += before
+        if prune:
+            kwargs = {}
+            if max_slice_len is not None:
+                kwargs["max_slice_len"] = max_slice_len
+            result = prune_function(function, readonly, **kwargs)
+        else:
+            result = PruneResult(checkpoints=collect_checkpoints(function),
+                                 total=before)
+        prune_results[name] = result
+        color_stats = _color_and_validate(function, result.checkpoints)
+        stats.coloring_conflicts += color_stats.conflicts_fixed
+        stats.dynamic_fallbacks += color_stats.dynamic_fallbacks
+        verify_region_budget(function, region_budget)
+
+    renumber_regions(module)
+    for name, function in module.functions.items():
+        _attach_plans(function, prune_results[name].checkpoints)
+
+    linked = link(lower_module(module))
+    stats.regions = linked.count_opcode(Opcode.MARK)
+    stats.checkpoints_after_pruning = linked.count_opcode(Opcode.CKPT)
+    # "Before pruning" counts what the binary would carry had no checkpoint
+    # been pruned — the final count plus every store pruning removed (the
+    # Fig. 12 comparison).
+    stats.checkpoints_before_pruning = stats.checkpoints_after_pruning + sum(
+        result.pruned for result in prune_results.values()
+    )
+    stats.code_size = linked.code_size()
+    stats.spills = sum(a.spill_count for a in alloc.values())
+    for instr in linked.instrs:
+        plan = instr.meta.get("plan")
+        if isinstance(plan, RegionPlan):
+            for action in plan.restores.values():
+                if isinstance(action, SliceExec):
+                    stats.recovery_blocks += 1
+                    stats.recovery_block_instrs += len(action)
+    return CompiledProgram(linked=linked, scheme=stats.scheme, stats=stats,
+                           module=module, prune_results=prune_results)
+
+
+def compile_scheme(source: SourceOrModule, scheme: str,
+                   **kwargs) -> CompiledProgram:
+    """Dispatch by scheme name: 'nvp', 'ratchet', 'gecko', 'gecko-nopruning'."""
+    if scheme == "nvp":
+        return compile_nvp(source)
+    if scheme == "ratchet":
+        return compile_ratchet(source)
+    if scheme == "gecko":
+        return compile_gecko(source, **kwargs)
+    if scheme == "gecko-nopruning":
+        return compile_gecko(source, prune=False, **kwargs)
+    raise ValueError(f"unknown compilation scheme {scheme!r}")
+
+
+# ----------------------------------------------------------------------
+# Coloring + post-coloring validation.
+# ----------------------------------------------------------------------
+def _color_and_validate(function: Function, infos: List[CkptInfo],
+                        max_rounds: int = 50):
+    """Color checkpoints, then repair anything coloring's edits broke.
+
+    Two things can go stale after conflict repair inserts new boundaries:
+    a pruned checkpoint's slot reference (another same-register checkpoint
+    now sits between source and target), and a WARAW protection (a new MARK
+    separates the protecting store from its load).  Both repairs insert
+    instructions, so iterate to a fixpoint.  Returns the accumulated
+    :class:`~repro.core.coloring.ColoringStats`.
+    """
+    from .coloring import ColoringStats
+
+    total = ColoringStats()
+    for _ in range(max_rounds):
+        stats = color_function(function, infos)
+        total.conflicts_fixed += stats.conflicts_fixed
+        total.extra_checkpoints += stats.extra_checkpoints
+        total.dynamic_fallbacks += stats.dynamic_fallbacks
+        total.colored = stats.colored
+        stale = _stale_slices(function, infos)
+        if stale:
+            for info in stale:
+                unprune(function, info)
+            continue
+        dep = next(iter(unsatisfied_antideps(function)), None)
+        if dep is not None:
+            _insert_boundary_before(function, infos, dep.store)
+            continue
+        verify_coloring(function, infos)
+        return total
+    raise CompileError(
+        f"post-coloring validation did not converge in {function.name}"
+    )
+
+
+def _stale_slices(function: Function,
+                  infos: List[CkptInfo]) -> List[CkptInfo]:
+    """Pruned checkpoints whose slot references are no longer safe."""
+    from .recovery import _path_through_exists  # shared path utility
+
+    dom = dominators(function)
+    current: Dict[int, object] = {}
+
+    def site_of(instr: Instr):
+        key = id(instr)
+        if key not in current:
+            current[key] = locate_instr(function, instr)
+        return current[key]
+
+    stale: List[CkptInfo] = []
+    for info in infos:
+        if info.kept or not info.slice_elements:
+            continue
+        mark_site = site_of(info.mark_instr)
+        if mark_site is None:
+            stale.append(info)
+            continue
+        for element in info.slice_elements:
+            if not isinstance(element, SlotElement):
+                continue
+            source = infos[element.source_index]
+            source_site = site_of(source.instr)
+            if source_site is None or not source.kept:
+                stale.append(info)
+                break
+            if not _dominates(dom, source_site, mark_site):
+                stale.append(info)
+                break
+            others = {
+                site_of(other.instr)
+                for other in infos
+                if other.kept and other is not source
+                and other.reg_index == source.reg_index
+                and site_of(other.instr) is not None
+            }
+            if others and _path_through_exists(function, source_site,
+                                               mark_site, others):
+                stale.append(info)
+                break
+    return stale
+
+
+def _dominates(dom, a, b) -> bool:
+    if a[0] == b[0]:
+        return a[1] < b[1]
+    return a[0] in dom.get(b[0], set())
+
+
+def _insert_boundary_before(function: Function, infos: List[CkptInfo],
+                            store_site) -> None:
+    """Cut an anti-dependence post-coloring: MARK + minimal checkpoints.
+
+    Live inputs restorable from an existing dominating slot are left to the
+    plan builder; checkpointing them here would disturb their coloring.
+    """
+    from ..isa.instructions import ckpt as make_ckpt, mark
+    from ..isa.operands import PReg
+    from ..ir.liveness import liveness
+    from .pruning import locate_instr as _locate
+    from .recovery import find_dominating_slot
+
+    block_name, index = store_site
+    live = liveness(function, ignore_ckpt_uses=True)
+    live_here = live.live_at(function, block_name, index)
+
+    site_cache: Dict[int, object] = {}
+
+    def site_of(info: CkptInfo):
+        key = id(info.instr)
+        if key not in site_cache:
+            site_cache[key] = _locate(function, info.instr)
+        return site_cache[key]
+
+    inputs = []
+    for reg in sorted(live_here, key=lambda r: getattr(r, "index", 99)):
+        if not isinstance(reg, PReg) or not 1 <= reg.index < 16:
+            continue
+        slot = find_dominating_slot(function, infos, reg.index,
+                                    (block_name, index), site_of=site_of)
+        if slot is None:
+            inputs.append(reg.index)
+
+    block = function.blocks[block_name]
+    new_mark = mark(0)
+    new_instrs: List[Instr] = []
+    for reg_index in inputs:
+        ck = make_ckpt(PReg(reg_index), reg_index=reg_index, color=None)
+        new_instrs.append(ck)
+        infos.append(
+            CkptInfo(instr=ck, site=(block_name, index),
+                     mark_site=(block_name, index),
+                     reg_index=reg_index, mark_instr=new_mark)
+        )
+    new_instrs.append(new_mark)
+    block.instrs[index:index] = new_instrs
+
+
+# ----------------------------------------------------------------------
+# Restore-plan construction.
+# ----------------------------------------------------------------------
+def _attach_plans(function: Function, infos: List[CkptInfo]) -> None:
+    """Attach a RegionPlan to every MARK.
+
+    Each live input register of a region is restored via (in order of
+    preference) its own boundary checkpoint, its pruning recovery block, or
+    a dominating checkpoint slot from an earlier boundary (covers repair
+    boundaries that deliberately checkpoint only the conflicted register).
+    """
+    from ..ir.dominators import dominators
+    from ..ir.liveness import liveness
+    from ..isa.operands import PReg
+    from .pruning import locate_instr as _locate
+    from .recovery import find_restore_source
+
+    by_mark: Dict[int, List[CkptInfo]] = {}
+    for info in infos:
+        by_mark.setdefault(id(info.mark_instr), []).append(info)
+
+    live = liveness(function, ignore_ckpt_uses=True)
+    dom = dominators(function)
+    site_cache: Dict[int, object] = {}
+
+    def site_of(info: CkptInfo):
+        key = id(info.instr)
+        if key not in site_cache:
+            site_cache[key] = _locate(function, info.instr)
+        return site_cache[key]
+
+    for name in function.block_order:
+        for index, instr in enumerate(function.blocks[name].instrs):
+            if instr.op is not Opcode.MARK:
+                continue
+            plan = RegionPlan(region=instr.region or 0)
+            for info in by_mark.get(id(instr), []):
+                if info.kept:
+                    plan.restores[info.reg_index] = SlotLoad(
+                        reg_index=info.reg_index, color=info.instr.color,
+                        per_reg=bool(info.instr.meta.get("per_reg")),
+                    )
+                elif info.slice_elements:
+                    plan.restores[info.reg_index] = SliceExec(
+                        target=info.reg_index,
+                        instrs=materialize_slice(infos, info.slice_elements),
+                    )
+            for reg in live.live_at(function, name, index + 1):
+                if not isinstance(reg, PReg) or not 1 <= reg.index < 16:
+                    continue
+                if reg.index in plan.restores:
+                    continue
+                found = find_restore_source(function, infos, reg.index,
+                                            (name, index), dom=dom,
+                                            site_of=site_of)
+                if found is None:
+                    raise CompileError(
+                        f"{function.name}: live input R{reg.index} of the "
+                        f"region at {name}:{index} has no restore path"
+                    )
+                kind, source_index = found
+                source = infos[source_index]
+                if kind == "slot":
+                    plan.restores[reg.index] = SlotLoad(
+                        reg_index=source.reg_index, color=source.instr.color,
+                        per_reg=bool(source.instr.meta.get("per_reg")),
+                    )
+                else:
+                    plan.restores[reg.index] = SliceExec(
+                        target=reg.index,
+                        instrs=materialize_slice(infos, source.slice_elements),
+                    )
+            instr.meta["plan"] = plan
+
+
+def _check_idempotent(function: Function) -> None:
+    deps = unsatisfied_antideps(function)
+    if deps:
+        raise CompileError(
+            f"{function.name}: {len(deps)} unsatisfied anti-dependences "
+            f"after region formation"
+        )

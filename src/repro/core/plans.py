@@ -1,0 +1,93 @@
+"""Restore plans: how each region input register is rebuilt after a crash.
+
+Under rollback recovery, re-entering region ``Rg`` requires every *input*
+register (live at the region entry) to be reconstructed.  Each input gets
+one of two actions:
+
+* :class:`SlotLoad` — read the register's own committed checkpoint slot
+  (the unpruned case, one NVM load).
+* :class:`SliceExec` — execute a recovery block (paper §VI-E): a closed
+  straight-line slice whose sources are constants, read-only memory and
+  checkpoint slots, interpreted by the runtime in an isolated environment.
+
+The compiler attaches a :class:`RegionPlan` to every ``MARK`` instruction's
+``meta['plan']``; the runtime builds its lookup table from them (the paper's
+~130-instruction lookup table, §VII-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from ..isa.instructions import CYCLES, Instr, Opcode
+
+
+def slot_symbol(color: int) -> str:
+    """Checkpoint-storage symbol for a buffer color."""
+    return f"__ckpt{color}"
+
+
+@dataclass(frozen=True)
+class SlotLoad:
+    """Restore a register from checkpoint slot ``(reg_index, color)``.
+
+    ``color=None`` with ``per_reg=False`` is Ratchet's global dynamic
+    convention (read the buffer the last committed MARK selected);
+    ``per_reg=True`` reads the register's own committed index word
+    (``__rcolor``) first — the per-register dynamic fallback.
+    """
+
+    reg_index: int
+    color: Union[int, None]
+    per_reg: bool = False
+
+    @property
+    def cycles(self) -> int:
+        return CYCLES[Opcode.LD]
+
+
+@dataclass
+class SliceExec:
+    """Restore a register by executing a recovery block.
+
+    ``instrs`` is a closed slice: every register an instruction reads is
+    written by an earlier slice instruction (slot loads appear as ``LD``
+    from ``__ckpt0``/``__ckpt1``).  ``target`` is the architectural register
+    the final instruction's destination value is written to.
+    """
+
+    target: int
+    instrs: List[Instr] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return sum(instr.cycles for instr in self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+RestoreAction = Union[SlotLoad, SliceExec]
+
+
+@dataclass
+class RegionPlan:
+    """Restore actions for one region, keyed by architectural register."""
+
+    region: int
+    restores: Dict[int, RestoreAction] = field(default_factory=dict)
+
+    @property
+    def recovery_cycles(self) -> int:
+        """Worst-case cycles to execute every restore action."""
+        return sum(action.cycles for action in self.restores.values())
+
+    @property
+    def slice_count(self) -> int:
+        return sum(1 for a in self.restores.values() if isinstance(a, SliceExec))
+
+    @property
+    def slice_instr_count(self) -> int:
+        return sum(len(a) for a in self.restores.values()
+                   if isinstance(a, SliceExec))

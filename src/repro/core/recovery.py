@@ -1,0 +1,521 @@
+"""Recovery-block (slice) construction for checkpoint pruning (paper §VI-E).
+
+A checkpoint of register ``r`` at boundary ``B`` may be pruned when the
+value ``r`` holds at ``B`` can be *reconstructed* after a crash.  The
+builder backtracks register data dependences from the checkpoint's use of
+``r`` (paper: data-dependence backtracking over the PDG) and terminates at
+
+* a constant (``LI``),
+* a load from read-only memory (lookup tables — never stored anywhere in
+  the module),
+* a *kept* checkpoint slot of some register whose committed slot provably
+  still holds the needed value at recovery time.
+
+The slot-termination soundness conditions mirror the paper's double-buffer
+argument (§VI-D): the referenced checkpoint ``c2`` must (1) hold the same
+unique reaching definition, (2) dominate ``B``'s boundary so it executed,
+and (3) have no other kept checkpoint of the same register between it and
+``B`` on any path — then at most one later same-register checkpoint can run
+before a crash, and 2-coloring guarantees it uses the other buffer.
+
+Backtracking fails (the checkpoint is kept) on: multiple reaching
+definitions (control-dependence integrity — the slice's control flow could
+diverge from the original), cyclic dependences (loop-carried values),
+mutable memory, ``sense()`` inputs, or slices above the length cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..isa.instructions import BINOPS, Instr, Opcode, UNOPS
+from ..isa.operands import Imm, PReg, Sym
+from ..ir.cfg import Function
+from ..ir.dominators import dominators
+from ..ir.reaching import ReachingResult
+
+Site = Tuple[str, int]
+
+#: Default cap on recovery-block length (the paper reports ~6 instructions).
+MAX_SLICE_LEN = 8
+
+
+@dataclass
+class CkptInfo:
+    """One checkpoint store and its boundary association."""
+
+    instr: Instr                  # the CKPT instruction object (mutated later)
+    site: Site                    # position at pruning time
+    mark_site: Site               # position of the owning MARK (pruning time)
+    reg_index: int
+    #: The owning MARK instruction object — positions shift across passes,
+    #: object identity does not.
+    mark_instr: Optional[Instr] = None
+    kept: bool = True
+    #: Unique reaching definition of the register at this site (or None).
+    unique_def: Optional[Site] = None
+    #: Checkpoints whose slices reference this one (must stay kept).
+    referenced_by: List["CkptInfo"] = field(default_factory=list)
+    #: Abstract slice elements when pruned.
+    slice_elements: Optional[List["SliceElement"]] = None
+
+
+@dataclass(frozen=True)
+class InstrElement:
+    """A recomputation step: re-execute a copy of an original instruction.
+
+    The copy is captured eagerly because checkpoint removal shifts
+    instruction indices after pruning.
+    """
+
+    instr: Instr
+
+
+@dataclass(frozen=True)
+class SlotElement:
+    """A termination step: load a register from another checkpoint's slot."""
+
+    source_index: int             # index of the referenced CkptInfo
+    reg: PReg                     # destination register (as the slice sees it)
+
+
+SliceElement = Union[InstrElement, SlotElement]
+
+
+class SliceBuilder:
+    """Builds recovery slices for one function's checkpoints."""
+
+    def __init__(self, function: Function, reaching: ReachingResult,
+                 readonly_symbols: FrozenSet[str],
+                 checkpoints: Sequence[CkptInfo],
+                 max_len: int = MAX_SLICE_LEN) -> None:
+        self._fn = function
+        self._reaching = reaching
+        self._dom = dominators(function)
+        self._readonly = readonly_symbols
+        self._ckpts = list(checkpoints)
+        self._max_len = max_len
+        self._def_site_cache: Dict[int, Set[Site]] = {}
+        self._alias_site_cache: Dict[Tuple, Set[Site]] = {}
+        #: kept checkpoints per register index, for slot termination.
+        self._by_reg: Dict[int, List[int]] = {}
+        for i, info in enumerate(self._ckpts):
+            self._by_reg.setdefault(info.reg_index, []).append(i)
+
+    # ------------------------------------------------------------------
+    def try_build(self, target: CkptInfo) -> Optional[List[SliceElement]]:
+        """Attempt a slice for ``target``; returns elements or ``None``."""
+        state = _BuildState()
+        ok = self._resolve_use(
+            target.site, PReg(target.reg_index), target, state
+        )
+        if not ok or len(state.elements) > self._max_len:
+            return None
+        if not state.elements:
+            return None
+        return state.elements
+
+    # ------------------------------------------------------------------
+    def _resolve_use(self, use_site: Site, reg: PReg, target: CkptInfo,
+                     state: "_BuildState") -> bool:
+        token = self._resolution_token(use_site, reg, target)
+        bound = state.reg_binding.get(reg)
+        if bound is not None:
+            return bound == token  # one value per register name per slice
+        if token is None:
+            return False
+        kind, payload = token
+        if kind == "slot":
+            state.reg_binding[reg] = token
+            state.elements.append(SlotElement(source_index=payload, reg=reg))
+            state.slot_sources.append(payload)
+            return True
+        def_site = payload
+        if def_site in state.on_stack:
+            return False  # loop-carried value
+        instr = self._fn.blocks[def_site[0]].instrs[def_site[1]]
+        state.on_stack.add(def_site)
+        try:
+            for used in instr.uses():
+                if not self._resolve_use(def_site, used, target, state):
+                    return False
+        finally:
+            state.on_stack.discard(def_site)
+        state.reg_binding[reg] = token
+        state.elements.append(InstrElement(instr=instr.copy()))
+        return len(state.elements) <= self._max_len
+
+    def _resolution_token(self, use_site: Site, reg: PReg,
+                          target: CkptInfo) -> Optional[Tuple[str, object]]:
+        """How to rebuild the value ``reg`` carried into ``use_site``."""
+        slot = self._find_slot_source(reg, use_site, target)
+        if slot is not None:
+            return ("slot", slot)
+        defs = self._reaching.defs_reaching_use(use_site, reg)
+        if len(defs) != 1:
+            return None  # control-dependence integrity: ambiguous origin
+        def_site = next(iter(defs))
+        instr = self._fn.blocks[def_site[0]].instrs[def_site[1]]
+        if not self._is_recomputable(instr, def_site, target):
+            return None
+        return ("def", def_site)
+
+    def _is_recomputable(self, instr: Instr, def_site: Site,
+                         target: CkptInfo) -> bool:
+        if instr.op is Opcode.LI or instr.op in BINOPS or instr.op in UNOPS:
+            return True
+        if instr.op is Opcode.LD:
+            if instr.sym.name in self._readonly:
+                return True
+            return self._load_stable(instr, def_site, target)
+        return False
+
+    def _load_stable(self, load: Instr, def_site: Site,
+                     target: CkptInfo) -> bool:
+        """Whether re-executing this load at recovery reads the same value.
+
+        True when no may-aliasing store (or call, which may write anything)
+        lies (a) on any path from the load to the recovering boundary, or
+        (b) inside the recovering region itself (reachable from the
+        boundary without crossing another MARK) — so the loaded word cannot
+        have changed between the original load and the crash.  This is what
+        lets recovery blocks reload function arguments, call results and
+        other once-written locations instead of checkpointing them.
+        """
+        aliasing = self._aliasing_sites(load)
+        if not aliasing:
+            return True
+        if _path_through_exists(self._fn, def_site, target.mark_site,
+                                aliasing):
+            return False
+        if _markfree_reaches(self._fn, target.mark_site, aliasing):
+            return False
+        return True
+
+    def _aliasing_sites(self, load: Instr) -> Set[Site]:
+        """Sites of stores (and calls) that may write this load's word."""
+        from ..ir.alias import clobbers_all_memory, may_alias, mem_ref
+
+        load_ref = mem_ref(load)
+        key = (load_ref.symbol, load_ref.offset)
+        cached = self._alias_site_cache.get(key)
+        if cached is not None:
+            return cached
+        sites: Set[Site] = set()
+        for name, i, instr in self._fn.instructions():
+            if clobbers_all_memory(instr):
+                sites.add((name, i))
+                continue
+            if instr.op is not Opcode.ST:
+                continue
+            store_ref = mem_ref(instr)
+            if store_ref is not None and may_alias(load_ref, store_ref):
+                sites.add((name, i))
+        self._alias_site_cache[key] = sites
+        return sites
+
+    def _find_slot_source(self, reg: PReg, use_site: Site,
+                          target: CkptInfo) -> Optional[int]:
+        """A kept checkpoint slot provably holding ``reg``'s value at ``use_site``.
+
+        Value equivalence: the checkpoint ``c2`` and the use are def-free
+        connected (no definition of the register on any path between them)
+        with one dominating the other, so the last execution of ``c2``
+        observed exactly the value the use consumed.  Slot integrity: ``c2``
+        dominates the recovering boundary (it executed) and no other kept
+        checkpoint of the register lies between it and the boundary (so at
+        most one later same-register checkpoint — of the other color — can
+        run before the crash).
+        """
+        def_sites = self._def_sites(reg)
+        for index in self._by_reg.get(reg.index, ()):
+            info = self._ckpts[index]
+            if info is target or not info.kept:
+                continue
+            if not self._site_dominates(info.site, target.mark_site):
+                continue
+            if self._site_dominates(info.site, use_site):
+                if _path_through_exists(self._fn, info.site, use_site,
+                                        def_sites):
+                    continue
+            elif self._site_dominates(use_site, info.site):
+                if _path_through_exists(self._fn, use_site, info.site,
+                                        def_sites):
+                    continue
+            else:
+                continue
+            if self._kept_ckpt_between(info, target.mark_site):
+                continue
+            return index
+        return None
+
+    def _def_sites(self, reg: PReg) -> "Set[Site]":
+        cached = self._def_site_cache.get(reg.index)
+        if cached is None:
+            cached = {
+                (name, i)
+                for name, i, instr in self._fn.instructions()
+                if any(isinstance(d, PReg) and d.index == reg.index
+                       for d in instr.defs())
+            }
+            self._def_site_cache[reg.index] = cached
+        return cached
+
+    def _site_dominates(self, a: Site, b: Site) -> bool:
+        if a[0] == b[0]:
+            return a[1] < b[1]
+        return a[0] in self._dom.get(b[0], set())
+
+    def _kept_ckpt_between(self, source: CkptInfo, mark_site: Site) -> bool:
+        """Any kept same-register checkpoint strictly between source and B?"""
+        others = {
+            self._ckpts[i].site
+            for i in self._by_reg.get(source.reg_index, ())
+            if self._ckpts[i].kept and self._ckpts[i] is not source
+        }
+        if not others:
+            return False
+        return _path_through_exists(self._fn, source.site, mark_site, others)
+
+
+@dataclass
+class _BuildState:
+    elements: List[SliceElement] = field(default_factory=list)
+    reg_binding: Dict[PReg, Site] = field(default_factory=dict)
+    on_stack: Set[Site] = field(default_factory=set)
+    slot_sources: List[int] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Path utilities (instruction-point granularity).
+# ----------------------------------------------------------------------
+def _next_sites(function: Function, site: Site) -> List[Site]:
+    block, index = site
+    instrs = function.blocks[block].instrs
+    instr = instrs[index]
+    if instr.op is Opcode.JMP:
+        return [(instr.target.name, 0)]
+    if instr.op is Opcode.BNZ:
+        return [(instr.target.name, 0), (block, index + 1)]
+    if instr.op in (Opcode.RET, Opcode.HALT):
+        return []
+    if index + 1 < len(instrs):
+        return [(block, index + 1)]
+    return []
+
+
+def _markfree_reaches(function: Function, src: Site,
+                      targets: Set[Site]) -> bool:
+    """Whether any ``targets`` site is reachable from ``src`` without
+    crossing a MARK (i.e. lies inside the region starting at ``src``)."""
+    seen: Set[Site] = set()
+    stack = _next_sites(function, src)
+    while stack:
+        site = stack.pop()
+        if site in seen:
+            continue
+        seen.add(site)
+        if site in targets:
+            return True
+        instr = function.blocks[site[0]].instrs[site[1]]
+        if instr.op is Opcode.MARK:
+            continue
+        stack.extend(_next_sites(function, site))
+    return False
+
+
+def _path_through_exists(function: Function, src: Site, dst: Site,
+                         through: Set[Site]) -> bool:
+    """Is there a path src -> dst visiting a ``through`` site?
+
+    Paths that revisit ``src`` are not followed: the analysis always asks
+    about the segment after the *last* execution of ``src``, so anything
+    before a revisit is irrelevant (e.g. a loop-carried definition that
+    precedes the next execution of a loop-header checkpoint).
+    """
+    seen: Set[Tuple[Site, bool]] = set()
+    stack = [(s, False) for s in _next_sites(function, src)]
+    while stack:
+        site, crossed = stack.pop()
+        if site == src:
+            continue  # a revisit resets the segment of interest
+        if (site, crossed) in seen:
+            continue
+        seen.add((site, crossed))
+        if site == dst and crossed:
+            return True
+        here = crossed or site in through
+        for nxt in _next_sites(function, site):
+            stack.append((nxt, here))
+    return False
+
+
+def find_dominating_slot(function: Function, infos: Sequence[CkptInfo],
+                         reg_index: int, mark_site: Site,
+                         dom=None, site_of=None) -> Optional[int]:
+    """A kept checkpoint whose slot restores ``reg_index`` at ``mark_site``.
+
+    Conditions (same soundness argument as slice slot termination): the
+    checkpoint dominates the boundary, no other kept checkpoint of the
+    register lies between them (clobber protection via 2-coloring), and no
+    definition of the register lies between them (value equality).  Used
+    both when planning restores for boundaries that lack an own checkpoint
+    of a live register and when deciding the minimal checkpoint set of a
+    coloring-repair boundary.
+    """
+    from ..ir.dominators import dominators as _dominators
+
+    if dom is None:
+        dom = _dominators(function)
+
+    def current_site(info: CkptInfo) -> Optional[Site]:
+        return site_of(info) if site_of is not None else info.site
+
+    def_sites = {
+        (name, i)
+        for name, i, instr in function.instructions()
+        if any(isinstance(d, PReg) and d.index == reg_index
+               for d in instr.defs())
+    }
+    kept = [
+        (index, current_site(info))
+        for index, info in enumerate(infos)
+        if info.kept and info.reg_index == reg_index
+    ]
+    kept_sites = {site for _, site in kept if site is not None}
+    for index, c2 in kept:
+        if c2 is None or c2 == mark_site:
+            continue
+        if c2[0] == mark_site[0]:
+            if c2[1] >= mark_site[1]:
+                continue
+        elif c2[0] not in dom.get(mark_site[0], set()):
+            continue
+        others = kept_sites - {c2}
+        if others and _path_through_exists(function, c2, mark_site, others):
+            continue
+        if def_sites and _path_through_exists(function, c2, mark_site,
+                                              def_sites):
+            continue
+        return index
+    return None
+
+
+def find_restore_source(function: Function, infos: Sequence[CkptInfo],
+                        reg_index: int, mark_site: Site,
+                        dom=None, site_of=None) -> Optional[Tuple[str, int]]:
+    """How a boundary lacking an own checkpoint of ``reg_index`` restores it.
+
+    Returns ``("slot", i)`` when a dominating kept checkpoint works (see
+    :func:`find_dominating_slot`), or ``("slice", i)`` when a pruned
+    checkpoint's recovery block can be reused: its boundary dominates this
+    one, the register is not redefined in between, and every slot the slice
+    reads remains clobber-protected up to this boundary.  ``None`` means
+    the boundary must carry its own checkpoint.
+    """
+    from ..ir.dominators import dominators as _dominators
+
+    if dom is None:
+        dom = _dominators(function)
+    slot = find_dominating_slot(function, infos, reg_index, mark_site,
+                                dom=dom, site_of=site_of)
+    if slot is not None:
+        return ("slot", slot)
+
+    def current_site(info: CkptInfo) -> Optional[Site]:
+        return site_of(info) if site_of is not None else info.site
+
+    def dominates(a: Site, b: Site) -> bool:
+        if a == b:
+            return False
+        if a[0] == b[0]:
+            return a[1] < b[1]
+        return a[0] in dom.get(b[0], set())
+
+    def_sites = {
+        (name, i)
+        for name, i, instr in function.instructions()
+        if any(isinstance(d, PReg) and d.index == reg_index
+               for d in instr.defs())
+    }
+    mark_cache: Dict[int, Optional[Site]] = {}
+
+    def mark_pos(info: CkptInfo) -> Optional[Site]:
+        key = id(info.mark_instr)
+        if key not in mark_cache:
+            found = None
+            for name, i, instr in function.instructions():
+                if instr is info.mark_instr:
+                    found = (name, i)
+                    break
+            mark_cache[key] = found
+        return mark_cache[key]
+
+    for index, info in enumerate(infos):
+        if info.kept or info.reg_index != reg_index:
+            continue
+        if not info.slice_elements:
+            continue
+        prev_mark = mark_pos(info)
+        if prev_mark is None or not dominates(prev_mark, mark_site):
+            continue
+        if def_sites and _path_through_exists(function, prev_mark, mark_site,
+                                              def_sites):
+            continue
+        if all(
+            _slot_source_valid(function, infos, element, mark_site,
+                               current_site)
+            for element in info.slice_elements
+            if isinstance(element, SlotElement)
+        ):
+            return ("slice", index)
+    return None
+
+
+def _slot_source_valid(function: Function, infos: Sequence[CkptInfo],
+                       element: "SlotElement", mark_site: Site,
+                       current_site) -> bool:
+    source = infos[element.source_index]
+    if not source.kept:
+        return False
+    c2 = current_site(source)
+    if c2 is None:
+        return False
+    others = {
+        current_site(other)
+        for other in infos
+        if other.kept and other is not source
+        and other.reg_index == source.reg_index
+        and current_site(other) is not None
+    }
+    return not (others and _path_through_exists(function, c2, mark_site,
+                                                others))
+
+
+def materialize_slice(ckpts: Sequence[CkptInfo],
+                      elements: List[SliceElement]) -> List[Instr]:
+    """Turn abstract slice elements into executable instructions.
+
+    Must run after coloring, when every referenced checkpoint has a concrete
+    buffer color.  Slot elements become loads from ``__ckpt<color>``.
+    """
+    from .plans import slot_symbol
+
+    out: List[Instr] = []
+    for element in elements:
+        if isinstance(element, SlotElement):
+            info = ckpts[element.source_index]
+            color = info.instr.color
+            sym = slot_symbol(color if color is not None else 0)
+            load = Instr(Opcode.LD, dst=element.reg, sym=Sym(sym),
+                         off=Imm(info.reg_index))
+            if color is None:
+                if info.instr.meta.get("per_reg"):
+                    load.meta["per_reg_slot"] = True
+                else:
+                    load.meta["dynamic_slot"] = True
+            out.append(load)
+        else:
+            out.append(element.instr.copy())
+    return out

@@ -1,0 +1,21 @@
+"""EMI attack modelling: sources, propagation, susceptibility, schedules."""
+
+from .attacker import AttackSchedule, AttackWindow
+from .devices import (
+    DEVICES,
+    DeviceProfile,
+    EVALUATION_BOARD,
+    PaperReference,
+    device,
+    device_names,
+)
+from .propagation import DPIPath, RemotePath, WALL_ATTENUATION_DB
+from .signal import EMISource, induced_waveform_sample
+from .susceptibility import ROLLOFF_CORNER_HZ, SusceptibilityCurve, sweep
+
+__all__ = [
+    "AttackSchedule", "AttackWindow", "DEVICES", "DPIPath", "DeviceProfile",
+    "EMISource", "EVALUATION_BOARD", "PaperReference", "ROLLOFF_CORNER_HZ",
+    "RemotePath", "SusceptibilityCurve", "WALL_ATTENUATION_DB", "device",
+    "device_names", "induced_waveform_sample", "sweep",
+]

@@ -1,0 +1,63 @@
+"""Attack scheduling: when the adversary transmits, at what tone and power.
+
+Fig. 9 (real-time frequency hopping to modulate the victim's progress) and
+Fig. 13 (attacks switched on at chosen minutes) both reduce to a timeline
+of transmission windows; :class:`AttackSchedule` models that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .signal import EMISource
+
+
+@dataclass(frozen=True)
+class AttackWindow:
+    """One transmission interval of a single tone."""
+
+    start_s: float
+    end_s: float
+    source: EMISource
+
+    def active_at(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass
+class AttackSchedule:
+    """A timeline of attack windows (non-overlapping; first match wins)."""
+
+    windows: List[AttackWindow] = field(default_factory=list)
+
+    @classmethod
+    def always(cls, source: EMISource,
+               until_s: float = float("inf")) -> "AttackSchedule":
+        """A continuous attack from t=0 (the sweep experiments)."""
+        return cls([AttackWindow(0.0, until_s, source)])
+
+    @classmethod
+    def silent(cls) -> "AttackSchedule":
+        """No attack at all (baseline runs)."""
+        return cls([])
+
+    @classmethod
+    def from_intervals(cls, intervals: Sequence[Tuple[float, float]],
+                       source: EMISource) -> "AttackSchedule":
+        """Same tone transmitted over several (start, end) intervals."""
+        return cls([AttackWindow(a, b, source) for a, b in intervals])
+
+    def add(self, start_s: float, end_s: float, source: EMISource) -> None:
+        self.windows.append(AttackWindow(start_s, end_s, source))
+
+    def source_at(self, t: float) -> Optional[EMISource]:
+        """The active tone at time ``t`` (or None when the air is quiet)."""
+        for window in self.windows:
+            if window.active_at(t):
+                return window.source
+        return None
+
+    @property
+    def ever_active(self) -> bool:
+        return bool(self.windows)

@@ -1,0 +1,145 @@
+"""Catalog of the nine commodity platforms from Table I.
+
+Each profile carries the monitor types the board exposes and calibrated
+susceptibility curves.  ``paper`` records the measured values from Table I
+(minimum forward-progress rate, its frequency, and the peak checkpoint-
+failure rate) so benchmarks can print paper-vs-simulated side by side.
+
+Calibration logic: ADC monitors resonate near 27 MHz on the MSP430 family
+(17-18 MHz on the STM32); a deep primary resonance produces the DoS dip
+(R_min of a few percent) and a moderate secondary resonance produces
+partial spoofing — wake-ups inside the V_fail window — which is what
+drives the checkpoint-failure rate peak (ADC-F_max).  Comparator monitors
+couple much harder (no ADC sample averaging), hence the 1e-2 % R_min rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .susceptibility import SusceptibilityCurve
+
+MHZ = 1e6
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """Measured Table I values (percent / Hz); None where the paper has N/A."""
+
+    adc_rmin_pct: float
+    adc_rmin_freq: float
+    adc_fmax_pct: float
+    adc_fmax_freq: float
+    comp_rmin_pct: Optional[float] = None
+    comp_rmin_freq: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One commodity platform: monitors plus coupling characteristics."""
+
+    name: str
+    monitors: Tuple[str, ...]
+    adc_curve: SusceptibilityCurve
+    comp_curve: Optional[SusceptibilityCurve] = None
+    #: Amplitude boost when signals are wired in via DPI (no path loss,
+    #: coupling network drives the trace directly).
+    dpi_boost: float = 4.0
+    paper: Optional[PaperReference] = None
+
+    def curve_for(self, monitor: str) -> SusceptibilityCurve:
+        if monitor == "adc":
+            return self.adc_curve
+        if monitor == "comp" and self.comp_curve is not None:
+            return self.comp_curve
+        raise KeyError(f"{self.name} has no {monitor!r} monitor")
+
+
+def _adc(primary_mhz: float, primary_gain: float,
+         secondary_mhz: float, secondary_gain: float) -> SusceptibilityCurve:
+    return SusceptibilityCurve(resonances=(
+        (primary_mhz * MHZ, primary_gain, 2.5 * MHZ),
+        (secondary_mhz * MHZ, secondary_gain, 1.5 * MHZ),
+    ))
+
+
+def _comp(freqs_mhz: Tuple[float, ...], gain: float) -> SusceptibilityCurve:
+    return SusceptibilityCurve(resonances=tuple(
+        (f * MHZ, gain, 1.0 * MHZ) for f in freqs_mhz
+    ))
+
+
+#: The nine platforms of Table I.
+DEVICES: Dict[str, DeviceProfile] = {}
+
+
+def _register(profile: DeviceProfile) -> None:
+    DEVICES[profile.name] = profile
+
+
+_register(DeviceProfile(
+    name="TI-MSP430FR2311", monitors=("adc",),
+    adc_curve=_adc(27, 2.4, 35, 1.0),
+    paper=PaperReference(3.1, 27 * MHZ, 41.0, 27 * MHZ),
+))
+_register(DeviceProfile(
+    name="TI-MSP430FR2433", monitors=("adc",),
+    adc_curve=_adc(27, 2.2, 35, 1.0),
+    paper=PaperReference(4.2, 27 * MHZ, 41.0, 27 * MHZ),
+))
+_register(DeviceProfile(
+    name="TI-MSP430FR4133", monitors=("adc",),
+    adc_curve=_adc(27, 2.3, 28, 1.1),
+    paper=PaperReference(3.6, 27 * MHZ, 42.0, 28 * MHZ),
+))
+_register(DeviceProfile(
+    name="TI-MSP430F5529", monitors=("adc",),
+    adc_curve=_adc(27, 2.25, 16, 1.0),
+    paper=PaperReference(4.0, 27 * MHZ, 41.0, 16 * MHZ),
+))
+_register(DeviceProfile(
+    name="TI-MSP430FR5739", monitors=("adc",),
+    adc_curve=_adc(27, 3.0, 40, 0.6),
+    paper=PaperReference(1.8, 27 * MHZ, 11.0, 27 * MHZ),
+))
+_register(DeviceProfile(
+    name="TI-MSP430FR5994", monitors=("adc", "comp"),
+    adc_curve=_adc(27, 2.25, 33, 1.0),
+    comp_curve=_comp((5, 6), 5.5),
+    paper=PaperReference(4.0, 27 * MHZ, 28.0, 27 * MHZ,
+                         comp_rmin_pct=1.0e-2, comp_rmin_freq=5 * MHZ),
+))
+_register(DeviceProfile(
+    name="TI-MSP430FR6989", monitors=("adc", "comp"),
+    adc_curve=_adc(27, 2.3, 34, 1.0),
+    comp_curve=_comp((27,), 5.0),
+    paper=PaperReference(3.6, 27 * MHZ, 35.0, 27 * MHZ,
+                         comp_rmin_pct=1.2e-2, comp_rmin_freq=27 * MHZ),
+))
+_register(DeviceProfile(
+    name="TI-MSP432P", monitors=("adc", "comp"),
+    adc_curve=_adc(27, 2.35, 36, 1.0),
+    comp_curve=_comp((22,), 3.0),
+    paper=PaperReference(3.3, 27 * MHZ, 40.0, 27 * MHZ),
+))
+_register(DeviceProfile(
+    name="STM32L552ZE", monitors=("adc", "comp"),
+    adc_curve=_adc(17, 2.1, 18, 1.2),
+    comp_curve=_comp((17,), 2.5),
+    paper=PaperReference(4.8, 17 * MHZ, 24.0, 18 * MHZ),
+))
+
+
+def device(name: str) -> DeviceProfile:
+    """Look up a device profile by its Table I name."""
+    return DEVICES[name]
+
+
+def device_names() -> List[str]:
+    """All nine platform names, in Table I order."""
+    return list(DEVICES)
+
+
+#: The paper's main evaluation board (smallest vulnerable range, §VII-A).
+EVALUATION_BOARD = "TI-MSP430FR5994"

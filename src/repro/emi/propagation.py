@@ -1,0 +1,57 @@
+"""EMI propagation: how much attack power reaches the victim circuit.
+
+Two injection models, matching the paper's two experiment classes:
+
+* :class:`RemotePath` — over-the-air (§IV-B): free-space path loss at the
+  attack frequency, optional wall attenuation (Fig. 6b attacks through a
+  closed door), and the attacker's antenna gain.
+* :class:`DPIPath` — direct power injection (§IV-A): the signal is wired
+  into injection point P1 (the power line) or P2 (the monitor input line)
+  through a coupling network, so the delivered fraction is flat in distance
+  but depends on the injection point — P2 couples more directly into the
+  ADC/comparator, which is exactly what Fig. 4 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.harvester import friis_received_power
+from .signal import EMISource
+
+#: Typical interior wall attenuation for HF/VHF, in dB.
+WALL_ATTENUATION_DB = 6.0
+
+
+@dataclass(frozen=True)
+class RemotePath:
+    """Over-the-air coupling from attacker antenna to victim circuit."""
+
+    distance_m: float = 5.0
+    walls: int = 0
+    antenna_gain: float = 10.0  # directional log-periodic (the paper's LPDA)
+
+    def received_power_w(self, source: EMISource) -> float:
+        power = friis_received_power(
+            source.power_w, source.frequency_hz, self.distance_m,
+            tx_gain=self.antenna_gain,
+        )
+        if self.walls:
+            power *= 10.0 ** (-(WALL_ATTENUATION_DB * self.walls) / 10.0)
+        return power
+
+
+@dataclass(frozen=True)
+class DPIPath:
+    """Wired direct power injection at P1 (power line) or P2 (monitor line)."""
+
+    point: str = "P2"
+    #: Fraction of generator power delivered through the coupling network.
+    coupling = {"P1": 0.08, "P2": 0.35}
+
+    def __post_init__(self) -> None:
+        if self.point not in self.coupling:
+            raise ValueError(f"unknown injection point {self.point!r}")
+
+    def received_power_w(self, source: EMISource) -> float:
+        return source.power_w * self.coupling[self.point]

@@ -1,0 +1,66 @@
+"""Device susceptibility: received RF power -> induced monitor voltage.
+
+Low-power MCU boards lack input filtering, so an attack tone near a board
+resonance couples into the voltage-monitor input as a superimposed sine
+(§II-D).  We model the voltage transfer as a sum of Lorentzian resonances
+with a global low-pass roll-off (the paper observed no effect above
+~50 MHz in DPI, §IV-A2):
+
+    A(f) = rolloff(f) * sum_k  g_k / (1 + ((f - f_k) / w_k)^2) * sqrt(P_rx)
+
+``g_k`` is the peak gain in volts per sqrt(watt) at resonance ``f_k`` with
+half-width ``w_k``.  Every parameter set in :mod:`repro.emi.devices` is
+calibrated so the simulated Table I lands near the paper's measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+#: Above this corner the package/trace low-pass suppresses coupling.
+ROLLOFF_CORNER_HZ = 60e6
+
+Resonance = Tuple[float, float, float]  # (frequency_hz, gain_v_per_sqrtw, width_hz)
+
+
+@dataclass(frozen=True)
+class SusceptibilityCurve:
+    """Voltage-transfer curve of one monitor input on one board."""
+
+    resonances: Tuple[Resonance, ...]
+    rolloff_corner_hz: float = ROLLOFF_CORNER_HZ
+    #: Broadband floor coupling (tiny, keeps the curve smooth off-peak).
+    floor_gain: float = 0.01
+
+    def gain(self, frequency_hz: float) -> float:
+        """Volts induced per sqrt(watt) received at ``frequency_hz``."""
+        total = self.floor_gain
+        for f_k, g_k, w_k in self.resonances:
+            x = (frequency_hz - f_k) / w_k
+            total += g_k / (1.0 + x * x)
+        rolloff = 1.0 / (1.0 + (frequency_hz / self.rolloff_corner_hz) ** 2)
+        return total * rolloff
+
+    def induced_amplitude(self, frequency_hz: float,
+                          received_power_w: float) -> float:
+        """Peak induced voltage for a given received power."""
+        if received_power_w <= 0:
+            return 0.0
+        return self.gain(frequency_hz) * math.sqrt(received_power_w)
+
+    def resonant_frequencies(self) -> List[float]:
+        return [f for f, _, _ in self.resonances]
+
+    def peak_frequency(self) -> float:
+        """The most effective attack frequency."""
+        return max(self.resonances, key=lambda r: self.gain(r[0]))[0]
+
+
+def sweep(curve: SusceptibilityCurve, frequencies: Sequence[float],
+          received_power_w: float) -> List[Tuple[float, float]]:
+    """Induced amplitude across a frequency sweep (for plotting/benches)."""
+    return [
+        (f, curve.induced_amplitude(f, received_power_w)) for f in frequencies
+    ]

@@ -1,0 +1,20 @@
+"""Energy substrate: capacitor buffer, harvesters, power-system balance."""
+
+from .capacitor import Capacitor
+from .harvester import (
+    ConstantSupply,
+    RFHarvester,
+    SquareWaveHarvester,
+    TraceHarvester,
+    dbm_to_watts,
+    friis_received_power,
+    synthetic_rf_trace,
+    watts_to_dbm,
+)
+from .power_system import MCUPowerModel, PowerSystem
+
+__all__ = [
+    "Capacitor", "ConstantSupply", "MCUPowerModel", "PowerSystem",
+    "RFHarvester", "SquareWaveHarvester", "TraceHarvester", "dbm_to_watts",
+    "friis_received_power", "synthetic_rf_trace", "watts_to_dbm",
+]

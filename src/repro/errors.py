@@ -1,0 +1,63 @@
+"""Exception hierarchy for the GECKO reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch the library's failures without accidentally swallowing
+unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class AsmError(ReproError):
+    """Malformed assembly text or an ill-formed machine instruction."""
+
+
+class LexError(ReproError):
+    """Invalid character sequence in MiniC source."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class ParseError(ReproError):
+    """MiniC source that does not conform to the grammar."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class SemanticError(ReproError):
+    """MiniC source that parses but violates static semantics.
+
+    Examples: use of an undeclared variable, calling an undefined function,
+    recursion (unsupported on the static-frame call convention), or an array
+    index on a scalar.
+    """
+
+
+class CompileError(ReproError):
+    """A compiler pass could not produce a correct result."""
+
+
+class WCETError(CompileError):
+    """Worst-case execution time analysis failed.
+
+    Raised when a loop has no derivable bound or when a region cannot be
+    split below the power-on budget.
+    """
+
+
+class SimulationError(ReproError):
+    """The intermittent-system simulator reached an inconsistent state."""
+
+
+class MachineFault(ReproError):
+    """The machine interpreter trapped (bad address, div by zero, bad PC)."""

@@ -1,0 +1,49 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from .capacitor_sweep import CAPACITOR_SIZES_F, CapacitorPoint, figure15
+from .common import (
+    VictimConfig,
+    forward_progress,
+    frequency_sweep_mhz,
+    fmt_pct,
+    remote_tone,
+    run_attack,
+)
+from .comparison import CountermeasureEntry, TABLE_II, gecko_is_unique, table2
+from .detection import (
+    AttackThroughput,
+    DetectionRun,
+    SCENARIOS,
+    figure13,
+    run_scenario,
+    throughput_under_attack,
+)
+from .distance import DistancePoint, distance_grid, max_effective_distance
+from .overhead import (
+    HarvestingRow,
+    OverheadRow,
+    PruningRow,
+    SCHEMES,
+    StaticsRow,
+    compile_all,
+    figure11,
+    figure12,
+    figure14,
+    geomean,
+    table3,
+)
+from .realtime import DEFAULT_SEGMENTS, Segment, realtime_control
+from .sweeps import SweepPoint, SweepResult, TableOneRow, sweep_device, table_one
+
+__all__ = [
+    "AttackThroughput", "CAPACITOR_SIZES_F", "CapacitorPoint",
+    "CountermeasureEntry", "DEFAULT_SEGMENTS", "DetectionRun",
+    "DistancePoint", "HarvestingRow", "OverheadRow", "PruningRow",
+    "SCENARIOS", "SCHEMES", "Segment", "StaticsRow", "SweepPoint",
+    "SweepResult", "TABLE_II", "TableOneRow", "VictimConfig", "compile_all",
+    "distance_grid", "figure11", "figure12", "figure13", "figure14",
+    "figure15", "fmt_pct", "forward_progress", "frequency_sweep_mhz",
+    "gecko_is_unique", "geomean", "max_effective_distance", "realtime_control",
+    "remote_tone", "run_attack", "run_scenario", "sweep_device", "table2",
+    "table3", "table_one", "throughput_under_attack",
+]

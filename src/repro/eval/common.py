@@ -1,0 +1,151 @@
+"""Shared experiment configuration for the paper's evaluation (§IV, §VII).
+
+Every benchmark regenerating a table or figure builds on these helpers so
+that the attack rig (35 dBm source at 5 m — Fig. 6), the DPI rig (20 dBm
+wired — Fig. 3), and the victim configuration stay consistent across
+experiments, the way a single lab setup would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Sequence
+
+from ..core import CompiledProgram, compile_scheme
+from ..emi import AttackSchedule, DPIPath, EMISource, RemotePath, DeviceProfile, device
+from ..emi.devices import EVALUATION_BOARD
+from ..energy import Capacitor, ConstantSupply, PowerSystem, SquareWaveHarvester
+from ..runtime import (
+    IntermittentSimulator,
+    Machine,
+    SimConfig,
+    SimResult,
+    runtime_for,
+)
+from ..workloads import source
+
+#: The paper's remote-attack rig: up to 35 dBm, 5 m, directional antenna.
+REMOTE_TX_DBM = 35.0
+REMOTE_DISTANCE_M = 5.0
+
+#: The paper's DPI rig: 20 dBm injected through the coupling network.
+DPI_TX_DBM = 20.0
+
+#: Default victim application for attack-surface experiments: the sensing
+#: loop every intermittent deployment runs (§III, "Applications").
+VICTIM_WORKLOAD = "blink"
+
+
+@dataclass
+class VictimConfig:
+    """One victim device + power setup, reusable across attack runs."""
+
+    device_name: str = EVALUATION_BOARD
+    monitor_kind: str = "adc"
+    workload: str = VICTIM_WORKLOAD
+    scheme: str = "nvp"
+    capacitance: float = 1e-3
+    supply_w: Optional[float] = 0.5        # None -> use outage harvester
+    outage_period_s: float = 0.16          # used when supply_w is None
+    outage_duty: float = 0.4
+    outage_power_w: float = 5e-3
+    duration_s: float = 0.08
+    sleep_min_s: float = 2e-3
+    quantum: int = 64
+    region_budget: Optional[int] = None
+
+    def compile(self) -> CompiledProgram:
+        kwargs = {}
+        if self.region_budget is not None and self.scheme.startswith("gecko"):
+            kwargs["region_budget"] = self.region_budget
+        return compile_scheme(source(self.workload), self.scheme, **kwargs)
+
+    def power_system(self) -> PowerSystem:
+        if self.supply_w is not None:
+            harvester = ConstantSupply(self.supply_w)
+        else:
+            harvester = SquareWaveHarvester(
+                on_power_w=self.outage_power_w,
+                period_s=self.outage_period_s,
+                duty=self.outage_duty,
+            )
+        return PowerSystem(capacitor=Capacitor(self.capacitance),
+                           harvester=harvester)
+
+    def sim_config(self, **overrides) -> SimConfig:
+        config = SimConfig(quantum=self.quantum,
+                           sleep_min_s=self.sleep_min_s)
+        return replace(config, **overrides) if overrides else config
+
+    def profile(self) -> DeviceProfile:
+        return device(self.device_name)
+
+
+def run_attack(victim: VictimConfig,
+               attack: Optional[AttackSchedule] = None,
+               path=None,
+               compiled: Optional[CompiledProgram] = None,
+               duration_s: Optional[float] = None,
+               config: Optional[SimConfig] = None) -> SimResult:
+    """Simulate one victim under one attack schedule."""
+    compiled = compiled or victim.compile()
+    sim = IntermittentSimulator(
+        machine=Machine(compiled.linked),
+        runtime=runtime_for(compiled),
+        power=victim.power_system(),
+        attack=attack or AttackSchedule.silent(),
+        path=path or RemotePath(distance_m=REMOTE_DISTANCE_M),
+        device_profile=victim.profile(),
+        monitor_kind=victim.monitor_kind,
+        config=config or victim.sim_config(),
+    )
+    return sim.run(duration_s or victim.duration_s)
+
+
+def remote_tone(freq_hz: float, dbm: float = REMOTE_TX_DBM) -> AttackSchedule:
+    """A continuous remote tone (the sweep experiments)."""
+    return AttackSchedule.always(EMISource(freq_hz, dbm))
+
+
+def forward_progress(victim: VictimConfig, attack: AttackSchedule,
+                     path=None, compiled: Optional[CompiledProgram] = None,
+                     baseline: Optional[SimResult] = None):
+    """(rate R, attacked result, baseline result) for one attack setup."""
+    compiled = compiled or victim.compile()
+    if baseline is None:
+        baseline = run_attack(victim, AttackSchedule.silent(), path=path,
+                              compiled=compiled)
+    attacked = run_attack(victim, attack, path=path, compiled=compiled)
+    if baseline.executed_cycles <= 0:
+        return 0.0, attacked, baseline
+    rate = min(1.0, attacked.executed_cycles / baseline.executed_cycles)
+    return rate, attacked, baseline
+
+
+def frequency_sweep_mhz(start: float = 5, stop: float = 60, step: float = 2,
+                        sparse_to: float = 500,
+                        sparse_step: float = 50) -> List[float]:
+    """Sweep frequencies (MHz): dense over the susceptible band, sparse above.
+
+    The paper sweeps 5-500 MHz at 1 MHz (§IV-B1); every observed effect sits
+    below ~50 MHz, so the default grid keeps full resolution there and
+    samples the quiet region above.
+    """
+    freqs: List[float] = []
+    f = start
+    while f <= stop:
+        freqs.append(f)
+        f += step
+    f = stop + sparse_step
+    while f <= sparse_to:
+        freqs.append(f)
+        f += sparse_step
+    return freqs
+
+
+def fmt_pct(value: float) -> str:
+    """Format a rate like the paper's tables (percent, adaptive precision)."""
+    pct = value * 100.0
+    if pct != 0 and pct < 0.1:
+        return f"{pct:.0e}%"
+    return f"{pct:.1f}%"

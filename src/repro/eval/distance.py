@@ -1,0 +1,61 @@
+"""Attack power vs distance (Fig. 8) and wall penetration (Fig. 6b).
+
+The paper shows the attack working from 0-5 m outside a closed door, with
+effectiveness falling as distance grows and rising with transmit power —
+free-space path loss makes the two interchangeable.  The experiment grid
+measures the forward-progress rate over (distance, power) pairs at the
+victim's resonant frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..emi import RemotePath, device
+from ..emi.devices import EVALUATION_BOARD
+from .common import VictimConfig, forward_progress, remote_tone, run_attack
+
+
+@dataclass
+class DistancePoint:
+    distance_m: float
+    tx_dbm: float
+    progress_rate: float
+    walls: int = 0
+
+
+def distance_grid(device_name: str = EVALUATION_BOARD,
+                  distances_m: Optional[List[float]] = None,
+                  powers_dbm: Optional[List[float]] = None,
+                  walls: int = 1,
+                  duration_s: float = 0.04) -> List[DistancePoint]:
+    """R over a (distance, TX power) grid at the device's peak frequency."""
+    profile = device(device_name)
+    freq = profile.adc_curve.peak_frequency()
+    victim = VictimConfig(device_name=device_name, duration_s=duration_s)
+    compiled = victim.compile()
+
+    points: List[DistancePoint] = []
+    for distance in distances_m or [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 7.0]:
+        path = RemotePath(distance_m=distance, walls=walls)
+        baseline = run_attack(victim, path=path, compiled=compiled)
+        for dbm in powers_dbm or [0, 10, 20, 25, 30, 35]:
+            rate, _, _ = forward_progress(
+                victim, remote_tone(freq, dbm), path=path,
+                compiled=compiled, baseline=baseline,
+            )
+            points.append(DistancePoint(distance_m=distance, tx_dbm=dbm,
+                                        progress_rate=rate, walls=walls))
+    return points
+
+
+def max_effective_distance(points: List[DistancePoint],
+                           tx_dbm: float,
+                           dos_threshold: float = 0.5) -> float:
+    """The farthest distance at which the tone still halves progress."""
+    effective = [
+        p.distance_m for p in points
+        if p.tx_dbm == tx_dbm and p.progress_rate < dos_threshold
+    ]
+    return max(effective, default=0.0)

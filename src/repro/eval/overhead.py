@@ -1,0 +1,173 @@
+"""Performance and static-size experiments: Fig. 11, Fig. 12, Fig. 14,
+Table III, and the §VII-C code-size analysis.
+
+Fig. 11 measures execution time on stable power (no outages), so it is run
+directly on the machine; Fig. 14 repeats the comparison in a simulated RF
+energy-harvesting environment (Powercast-style transmitter feeding the
+capacitor), where completions per window stand in for throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core import CompiledProgram, compile_scheme
+from ..energy import Capacitor, PowerSystem, RFHarvester
+from ..runtime import (
+    IntermittentSimulator,
+    Machine,
+    SimConfig,
+    run_to_completion,
+    runtime_for,
+)
+from ..workloads import WORKLOAD_NAMES, source
+
+SCHEMES = ("nvp", "ratchet", "gecko-nopruning", "gecko")
+
+
+@dataclass
+class OverheadRow:
+    """One workload's normalized execution times (NVP = 1.0)."""
+
+    workload: str
+    cycles: Dict[str, int] = field(default_factory=dict)
+
+    def normalized(self, scheme: str) -> float:
+        return self.cycles[scheme] / self.cycles["nvp"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compile_all(workload: str,
+                schemes: Sequence[str] = SCHEMES) -> Dict[str, CompiledProgram]:
+    """Compile one workload under every scheme."""
+    return {s: compile_scheme(source(workload), s) for s in schemes}
+
+
+def figure11(workloads: Optional[Sequence[str]] = None,
+             schemes: Sequence[str] = SCHEMES) -> List[OverheadRow]:
+    """Normalized execution time on stable power (no outages)."""
+    rows: List[OverheadRow] = []
+    for name in workloads or WORKLOAD_NAMES:
+        compiled = compile_all(name, schemes)
+        row = OverheadRow(workload=name)
+        for scheme, program in compiled.items():
+            machine = run_to_completion(program.linked)
+            row.cycles[scheme] = machine.cycles
+        rows.append(row)
+    return rows
+
+
+@dataclass
+class PruningRow:
+    """Fig. 12: checkpoint stores with and without pruning."""
+
+    workload: str
+    unpruned: int
+    pruned: int
+
+    @property
+    def reduction(self) -> float:
+        if not self.unpruned:
+            return 0.0
+        return 1.0 - self.pruned / self.unpruned
+
+
+def figure12(workloads: Optional[Sequence[str]] = None) -> List[PruningRow]:
+    """Static checkpoint-store counts, GECKO w/o pruning vs GECKO."""
+    rows: List[PruningRow] = []
+    for name in workloads or WORKLOAD_NAMES:
+        unpruned = compile_scheme(source(name), "gecko-nopruning")
+        pruned = compile_scheme(source(name), "gecko")
+        rows.append(PruningRow(workload=name,
+                               unpruned=unpruned.checkpoint_stores,
+                               pruned=pruned.checkpoint_stores))
+    return rows
+
+
+@dataclass
+class StaticsRow:
+    """Table III + §VII-C static metrics for one workload."""
+
+    workload: str
+    checkpoint_stores: int
+    regions: int
+    recovery_blocks: int
+    avg_recovery_block_len: float
+    lookup_table_size: int
+    code_size: int
+    nvp_code_size: int
+
+    @property
+    def code_size_overhead(self) -> float:
+        if not self.nvp_code_size:
+            return 0.0
+        total = self.code_size + self.lookup_table_size
+        return total / self.nvp_code_size - 1.0
+
+
+def table3(workloads: Optional[Sequence[str]] = None) -> List[StaticsRow]:
+    """Checkpoint counts, recovery-block stats, and code-size overheads."""
+    rows: List[StaticsRow] = []
+    for name in workloads or WORKLOAD_NAMES:
+        gecko = compile_scheme(source(name), "gecko")
+        nvp = compile_scheme(source(name), "nvp")
+        stats = gecko.stats
+        rows.append(StaticsRow(
+            workload=name,
+            checkpoint_stores=gecko.checkpoint_stores,
+            regions=gecko.region_count,
+            recovery_blocks=stats.recovery_blocks,
+            avg_recovery_block_len=stats.avg_recovery_block_len,
+            lookup_table_size=stats.lookup_table_size,
+            code_size=stats.code_size,
+            nvp_code_size=nvp.stats.code_size,
+        ))
+    return rows
+
+
+@dataclass
+class HarvestingRow:
+    """Fig. 14: relative performance under RF energy harvesting."""
+
+    workload: str
+    completions: Dict[str, int] = field(default_factory=dict)
+
+    def normalized_slowdown(self, scheme: str) -> float:
+        """Execution-time overhead proxy: NVP completions / scheme's."""
+        ours = self.completions.get(scheme, 0)
+        if ours == 0:
+            return float("inf")
+        return self.completions["nvp"] / ours
+
+
+def figure14(workloads: Optional[Sequence[str]] = None,
+             duration_s: float = 0.4,
+             tx_distance_m: float = 2.0,
+             schemes: Sequence[str] = SCHEMES) -> List[HarvestingRow]:
+    """Throughput under a Powercast-style RF harvesting supply (§VII-B4)."""
+    rows: List[HarvestingRow] = []
+    for name in workloads or WORKLOAD_NAMES:
+        compiled = compile_all(name, schemes)
+        row = HarvestingRow(workload=name)
+        for scheme, program in compiled.items():
+            power = PowerSystem(
+                capacitor=Capacitor(1e-3),
+                harvester=RFHarvester(distance_m=tx_distance_m),
+            )
+            sim = IntermittentSimulator(
+                machine=Machine(program.linked),
+                runtime=runtime_for(program),
+                power=power,
+                config=SimConfig(quantum=128),
+            )
+            row.completions[scheme] = sim.run(duration_s).completions
+        rows.append(row)
+    return rows

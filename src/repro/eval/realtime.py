@@ -1,0 +1,71 @@
+"""Real-time attack control (Fig. 9): hopping frequencies to set the rate.
+
+The paper shows an adversary modulating the victim's forward-progress rate
+over time by switching the tone among frequencies of different coupling
+strength — full DoS at resonance, partial degradation off-peak, stealthy
+pauses in between.  This experiment replays such a schedule against the
+MSP430FR5994 and reports the per-segment progress rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..emi import AttackSchedule, EMISource, RemotePath
+from ..emi.devices import EVALUATION_BOARD
+from .common import REMOTE_TX_DBM, VictimConfig, run_attack
+
+#: A Fig. 9-style schedule: (duration share, frequency MHz or None=quiet).
+DEFAULT_SEGMENTS: Tuple[Tuple[float, Optional[float]], ...] = (
+    (0.15, None),     # quiet: full speed
+    (0.15, 27.0),     # resonance: DoS
+    (0.15, None),     # recover
+    (0.15, 33.0),     # secondary peak: partial degradation
+    (0.15, 30.0),     # shoulder: mild degradation
+    (0.25, 27.0),     # resonance again
+)
+
+
+@dataclass
+class Segment:
+    start_s: float
+    end_s: float
+    freq_mhz: Optional[float]
+    progress_rate: float
+
+
+def realtime_control(device_name: str = EVALUATION_BOARD,
+                     monitor_kind: str = "adc",
+                     segments: Sequence[Tuple[float, Optional[float]]] = DEFAULT_SEGMENTS,
+                     total_s: float = 0.3) -> List[Segment]:
+    """Replay a frequency-hopping schedule; measure R per segment.
+
+    Each segment is simulated as its own window over a persistent device so
+    the rates line up with the paper's time-series plots (Fig. 9a/9b).
+    """
+    victim = VictimConfig(device_name=device_name, monitor_kind=monitor_kind)
+    compiled = victim.compile()
+
+    # Per-segment baseline: an unattacked window of the same length.
+    results: List[Segment] = []
+    t = 0.0
+    for share, freq in segments:
+        window = share * total_s
+        baseline = run_attack(victim, AttackSchedule.silent(),
+                              compiled=compiled, duration_s=window)
+        if freq is None:
+            schedule = AttackSchedule.silent()
+        else:
+            schedule = AttackSchedule.always(
+                EMISource(freq * 1e6, REMOTE_TX_DBM)
+            )
+        attacked = run_attack(victim, schedule, compiled=compiled,
+                              duration_s=window)
+        rate = 1.0
+        if baseline.executed_cycles > 0:
+            rate = min(1.0, attacked.executed_cycles / baseline.executed_cycles)
+        results.append(Segment(start_s=t, end_s=t + window,
+                               freq_mhz=freq, progress_rate=rate))
+        t += window
+    return results

@@ -1,0 +1,155 @@
+"""Frequency-sweep attack experiments: Fig. 4, Fig. 5, Fig. 7, Table I.
+
+Each experiment sweeps a single-tone attack across frequencies against a
+victim running the JIT-checkpoint (NVP) stack and reports the forward-
+progress rate R at each frequency, plus — for Table I — the minimum R, its
+frequency, and the peak checkpoint-failure rate F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..emi import DPIPath, RemotePath, device, device_names
+from .common import (
+    DPI_TX_DBM,
+    REMOTE_TX_DBM,
+    VictimConfig,
+    forward_progress,
+    frequency_sweep_mhz,
+    remote_tone,
+    run_attack,
+)
+from ..emi.attacker import AttackSchedule
+from ..emi.signal import EMISource
+
+
+@dataclass
+class SweepPoint:
+    """One frequency's outcome."""
+
+    freq_mhz: float
+    progress_rate: float
+    failure_rate: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """A whole sweep for one (device, monitor, path) combination."""
+
+    device_name: str
+    monitor_kind: str
+    injection: str                    # "remote", "P1", "P2"
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def min_rate(self) -> float:
+        return min((p.progress_rate for p in self.points), default=1.0)
+
+    @property
+    def min_rate_freq_mhz(self) -> float:
+        return min(self.points, key=lambda p: p.progress_rate).freq_mhz
+
+    @property
+    def max_failure_rate(self) -> float:
+        return max((p.failure_rate for p in self.points), default=0.0)
+
+    @property
+    def max_failure_freq_mhz(self) -> float:
+        return max(self.points, key=lambda p: p.failure_rate).freq_mhz
+
+
+def sweep_device(device_name: str, monitor_kind: str = "adc",
+                 injection: str = "remote",
+                 freqs_mhz: Optional[List[float]] = None,
+                 tx_dbm: Optional[float] = None,
+                 measure_failures: bool = False,
+                 duration_s: float = 0.05) -> SweepResult:
+    """Run one frequency sweep against one device/monitor/path combo.
+
+    ``measure_failures`` switches the victim to the weak-outage power setup
+    where the V_fail corruption window actually opens (§IV-B2) and records
+    checkpoint-failure rates alongside progress rates.
+    """
+    if injection == "remote":
+        path = RemotePath(distance_m=5.0)
+        dbm = REMOTE_TX_DBM if tx_dbm is None else tx_dbm
+    else:
+        path = DPIPath(point=injection)
+        dbm = DPI_TX_DBM if tx_dbm is None else tx_dbm
+
+    victim = VictimConfig(device_name=device_name, monitor_kind=monitor_kind,
+                          duration_s=duration_s)
+    fail_victim = replace(
+        victim, supply_w=None, capacitance=4.7e-6, sleep_min_s=1e-3,
+        duration_s=max(duration_s, 0.4),
+    )
+    compiled = victim.compile()
+    baseline = run_attack(victim, path=path, compiled=compiled)
+
+    result = SweepResult(device_name=device_name, monitor_kind=monitor_kind,
+                         injection=injection)
+    for freq in freqs_mhz or frequency_sweep_mhz():
+        schedule = AttackSchedule.always(EMISource(freq * 1e6, dbm))
+        rate, attacked, _ = forward_progress(
+            victim, schedule, path=path, compiled=compiled, baseline=baseline
+        )
+        failure = 0.0
+        if measure_failures and rate < 0.9:
+            # Only frequencies that bite are worth the longer failure run.
+            fail_run = run_attack(fail_victim, schedule, path=path,
+                                  compiled=compiled)
+            failure = fail_run.checkpoint_failure_rate
+        result.points.append(
+            SweepPoint(freq_mhz=freq, progress_rate=rate, failure_rate=failure)
+        )
+    return result
+
+
+@dataclass
+class TableOneRow:
+    """One device's Table I entry (simulated, with the paper's reference)."""
+
+    device_name: str
+    adc_rmin: float
+    adc_rmin_freq_mhz: float
+    adc_fmax: float
+    adc_fmax_freq_mhz: float
+    comp_rmin: Optional[float] = None
+    comp_rmin_freq_mhz: Optional[float] = None
+
+
+def table_one(freqs_mhz: Optional[List[float]] = None,
+              duration_s: float = 0.04) -> List[TableOneRow]:
+    """Reproduce Table I across all nine platforms."""
+    rows: List[TableOneRow] = []
+    for name in device_names():
+        profile = device(name)
+        base = freqs_mhz or frequency_sweep_mhz()
+        # Make sure each board's own resonances are sampled even on a
+        # coarse grid (the paper sweeps at 1 MHz resolution).
+        dev_freqs = sorted(
+            set(base)
+            | {f / 1e6 for f in profile.adc_curve.resonant_frequencies()}
+        )
+        adc = sweep_device(name, "adc", freqs_mhz=dev_freqs,
+                           measure_failures=True, duration_s=duration_s)
+        row = TableOneRow(
+            device_name=name,
+            adc_rmin=adc.min_rate,
+            adc_rmin_freq_mhz=adc.min_rate_freq_mhz,
+            adc_fmax=adc.max_failure_rate,
+            adc_fmax_freq_mhz=adc.max_failure_freq_mhz,
+        )
+        if "comp" in profile.monitors and profile.comp_curve is not None:
+            comp_freqs = sorted(
+                set(base)
+                | {f / 1e6 for f in profile.comp_curve.resonant_frequencies()}
+            )
+            comp = sweep_device(name, "comp", freqs_mhz=comp_freqs,
+                                duration_s=duration_s)
+            row.comp_rmin = comp.min_rate
+            row.comp_rmin_freq_mhz = comp.min_rate_freq_mhz
+        rows.append(row)
+    return rows

@@ -1,0 +1,73 @@
+"""Alias analysis over symbol-based memory references.
+
+MiniC has no address-of operator, so every memory access names its base
+symbol directly and two accesses can only alias when their bases match.
+Within one symbol, constant offsets refine the answer; any dynamic offset is
+treated as covering the whole symbol (paper §VI-B: "GECKO employs alias
+analysis to identify all possible memory anti-dependencies" — our analysis
+is conservative in exactly the same may-alias direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa.instructions import Instr, Opcode
+from ..isa.operands import Imm
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory reference: base symbol plus (possibly unknown) offset."""
+
+    symbol: str
+    #: Constant word offset, or ``None`` when the offset is a register.
+    offset: Optional[int]
+    is_store: bool
+
+    @property
+    def is_exact(self) -> bool:
+        return self.offset is not None
+
+
+def mem_ref(instr: Instr) -> Optional[MemRef]:
+    """Extract the memory reference of a ``LD``/``ST``, else ``None``.
+
+    ``CALL`` deliberately returns ``None`` here; callers must treat calls as
+    touching all of memory (see :func:`clobbers_all_memory`).
+    """
+    if instr.op is Opcode.LD:
+        off = instr.off.value if isinstance(instr.off, Imm) else None
+        return MemRef(instr.sym.name, off, is_store=False)
+    if instr.op is Opcode.ST:
+        off = instr.off.value if isinstance(instr.off, Imm) else None
+        return MemRef(instr.sym.name, off, is_store=True)
+    if instr.op is Opcode.CKPT:
+        # Checkpoint stores write the dedicated double-buffer area, which no
+        # program access can name, so they never alias program memory.
+        return None
+    return None
+
+
+def clobbers_all_memory(instr: Instr) -> bool:
+    """Whether the instruction must be treated as reading+writing all memory."""
+    return instr.op is Opcode.CALL
+
+
+def may_alias(a: MemRef, b: MemRef) -> bool:
+    """Whether two references may touch the same word."""
+    if a.symbol != b.symbol:
+        return False
+    if a.offset is not None and b.offset is not None:
+        return a.offset == b.offset
+    return True
+
+
+def must_alias(a: MemRef, b: MemRef) -> bool:
+    """Whether two references certainly touch the same word."""
+    return (
+        a.symbol == b.symbol
+        and a.offset is not None
+        and a.offset == b.offset
+    )

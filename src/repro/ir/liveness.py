@@ -1,0 +1,120 @@
+"""Live-variable analysis over virtual (or physical) registers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..isa.instructions import Instr, Opcode
+from .cfg import Function
+
+
+@dataclass
+class LivenessResult:
+    """Block-level live-in/live-out register sets."""
+
+    live_in: Dict[str, Set[object]]
+    live_out: Dict[str, Set[object]]
+    ignore_ckpt_uses: bool = False
+
+    def live_at(self, function: Function, block: str, index: int) -> Set[object]:
+        """Registers live immediately *before* instruction ``index``."""
+        live = set(self.live_out[block])
+        instrs = function.blocks[block].instrs
+        for i in range(len(instrs) - 1, index - 1, -1):
+            live -= set(instrs[i].defs())
+            if not (self.ignore_ckpt_uses and instrs[i].op is Opcode.CKPT):
+                live |= set(instrs[i].uses())
+        return live
+
+
+def block_use_def(instrs: List[Instr],
+                  ignore_ckpt_uses: bool = False) -> Tuple[Set[object], Set[object]]:
+    """(upward-exposed uses, defined registers) of a straight-line sequence."""
+    uses: Set[object] = set()
+    defs: Set[object] = set()
+    for instr in instrs:
+        if ignore_ckpt_uses and instr.op is Opcode.CKPT:
+            continue
+        for reg in instr.uses():
+            if reg not in defs:
+                uses.add(reg)
+        defs.update(instr.defs())
+    return uses, defs
+
+
+def liveness(function: Function,
+             ignore_ckpt_uses: bool = False) -> LivenessResult:
+    """Compute block-level liveness with the standard backward fixpoint.
+
+    ``ignore_ckpt_uses`` treats checkpoint stores as *not* reading their
+    register: a region's input set is defined by the program's real uses —
+    a register whose only future reader is another checkpoint carries no
+    recoverable meaning, and counting it would create phantom inputs (e.g.
+    spill-scratch registers kept "live" by their own checkpoints).
+    """
+    order = function.reverse_postorder()
+    succs = function.successors()
+    use: Dict[str, Set[object]] = {}
+    defs: Dict[str, Set[object]] = {}
+    for name in order:
+        use[name], defs[name] = block_use_def(
+            function.blocks[name].instrs, ignore_ckpt_uses=ignore_ckpt_uses
+        )
+    live_in: Dict[str, Set[object]] = {name: set() for name in order}
+    live_out: Dict[str, Set[object]] = {name: set() for name in order}
+    changed = True
+    while changed:
+        changed = False
+        for name in reversed(order):
+            out: Set[object] = set()
+            for succ in succs[name]:
+                out |= live_in.get(succ, set())
+            new_in = use[name] | (out - defs[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return LivenessResult(live_in=live_in, live_out=live_out,
+                          ignore_ckpt_uses=ignore_ckpt_uses)
+
+
+def live_intervals(function: Function) -> Dict[object, Tuple[int, int]]:
+    """Live intervals over a linearization of the function.
+
+    Instructions are numbered in block order; each register maps to the
+    ``(first, last)`` instruction numbers at which it is live.  This is the
+    input to the linear-scan register allocator.  The intervals are
+    conservative (they span from first mention to last liveness point,
+    including loop-carried liveness via block live-out extension).
+    """
+    result = liveness(function)
+    number: Dict[Tuple[str, int], int] = {}
+    counter = 0
+    block_span: Dict[str, Tuple[int, int]] = {}
+    for name in function.block_order:
+        start = counter
+        for i in range(len(function.blocks[name].instrs)):
+            number[(name, i)] = counter
+            counter += 1
+        block_span[name] = (start, max(start, counter - 1))
+
+    intervals: Dict[object, Tuple[int, int]] = {}
+
+    def extend(reg: object, point: int) -> None:
+        lo, hi = intervals.get(reg, (point, point))
+        intervals[reg] = (min(lo, point), max(hi, point))
+
+    for name in function.block_order:
+        instrs = function.blocks[name].instrs
+        for i, instr in enumerate(instrs):
+            for reg in instr.defs() + instr.uses():
+                extend(reg, number[(name, i)])
+        lo_point, hi_point = block_span[name]
+        # A register live across this block must cover the whole block.
+        for reg in result.live_out[name] & result.live_in.get(name, set()):
+            extend(reg, lo_point)
+            extend(reg, hi_point)
+        for reg in result.live_out[name]:
+            extend(reg, hi_point)
+    return intervals

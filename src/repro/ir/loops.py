@@ -1,0 +1,244 @@
+"""Natural-loop discovery (backedges via dominators)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import CompileError
+from .cfg import Function
+from .dominators import dominators
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the blocks of its body (header included)."""
+
+    header: str
+    body: Set[str] = field(default_factory=set)
+    backedges: List[Tuple[str, str]] = field(default_factory=list)
+    #: Static trip-count bound (from lowering annotations), if known.
+    bound: Optional[int] = None
+    #: Loops strictly nested inside this one.
+    children: List["Loop"] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+
+    @property
+    def depth(self) -> int:
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def __repr__(self) -> str:
+        return f"Loop(header={self.header}, blocks={len(self.body)}, bound={self.bound})"
+
+
+def find_loops(function: Function) -> List[Loop]:
+    """All natural loops of ``function``, outermost first.
+
+    Loops sharing a header are merged (as LLVM does).  Irreducible control
+    flow — a backedge whose target does not dominate its source — is rejected
+    because the WCET analysis (and the paper's region formation, which places
+    boundaries in loop headers) require reducibility.
+    """
+    dom = dominators(function)
+    succs = function.successors()
+    by_header: Dict[str, Loop] = {}
+    rpo = function.reverse_postorder()
+    rpo_index = {name: i for i, name in enumerate(rpo)}
+
+    for src in rpo:
+        for dst in succs[src]:
+            if dst in dom.get(src, set()):
+                loop = by_header.setdefault(dst, Loop(header=dst))
+                loop.backedges.append((src, dst))
+                loop.body |= _natural_loop_body(function, src, dst)
+            elif rpo_index.get(dst, 0) <= rpo_index[src]:
+                # A retreating edge that is not a backedge: irreducible CFG.
+                raise CompileError(
+                    f"irreducible control flow at edge {src} -> {dst} "
+                    f"in {function.name}"
+                )
+
+    loops = list(by_header.values())
+    for loop in loops:
+        loop.bound = function.blocks[loop.header].meta.get("loop_bound")
+
+    # Build the nesting forest: parent = smallest strictly-enclosing loop.
+    loops.sort(key=lambda lp: len(lp.body))
+    for i, inner in enumerate(loops):
+        for outer in loops[i + 1:]:
+            if inner.header in outer.body and inner is not outer:
+                inner.parent = outer
+                outer.children.append(inner)
+                break
+    loops.sort(key=lambda lp: (lp.depth, lp.header))
+    return loops
+
+
+def _natural_loop_body(function: Function, src: str, header: str) -> Set[str]:
+    """Blocks of the natural loop of backedge ``src -> header``."""
+    preds = function.predecessors()
+    body = {header, src}
+    stack = [src]
+    while stack:
+        node = stack.pop()
+        if node == header:
+            continue
+        for pred in preds[node]:
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def infer_loop_bounds(function: Function) -> int:
+    """Derive trip bounds for canonical counted loops at the IR level.
+
+    Runs after constant propagation, so limits that were variables in the
+    source (``int n = 9; ... i < n``) have become immediates.  A loop gets
+    a bound when its header compares an induction register against an
+    immediate, the register has exactly one in-loop definition that adds a
+    constant step, and exactly one loop-entry definition loading a constant.
+    Bounds are written to the header block's ``loop_bound`` meta (existing
+    annotations win).  Returns how many loops were newly bounded.
+    """
+    from ..isa.instructions import Opcode
+    from ..isa.operands import Imm, VReg
+    from .reaching import reaching_definitions
+
+    loops = find_loops(function)
+    if not loops:
+        return 0
+    reaching = reaching_definitions(function)
+    inferred = 0
+
+    for loop in loops:
+        header = function.blocks[loop.header]
+        if header.meta.get("loop_bound") is not None:
+            continue
+        bound = _header_bound(function, loop, header, reaching)
+        if bound is not None:
+            header.meta["loop_bound"] = bound
+            inferred += 1
+    return inferred
+
+
+_RELATIONAL = None  # populated lazily to avoid import cycles
+
+
+def _header_bound(function: Function, loop: Loop, header, reaching):
+    from ..isa.instructions import Opcode
+    from ..isa.operands import Imm, VReg
+
+    # Header must end with BNZ cond -> loop body; find the compare that
+    # defines cond inside the header.
+    if len(header.instrs) < 2 or header.instrs[-2].op is not Opcode.BNZ:
+        return None
+    branch = header.instrs[-2]
+    if branch.target.name not in loop.body:
+        return None
+    compare = None
+    for instr in header.instrs:
+        if instr.dst == branch.a and instr.op in (
+            Opcode.SLT, Opcode.SLE, Opcode.SGT, Opcode.SGE
+        ):
+            compare = instr
+    if compare is None or not isinstance(compare.b, Imm):
+        return None
+    induction = compare.a
+    if not isinstance(induction, (VReg, type(induction))):
+        return None
+    limit = compare.b.value
+
+    # Classify the induction register's definitions: in-loop chains must all
+    # add the same constant, and the loop enters with one constant value.
+    step = None
+    start = None
+    step_sites = []
+    for name, i, instr in function.instructions():
+        if induction not in instr.defs():
+            continue
+        inside = name in loop.body
+        if inside:
+            delta = _step_of(function, instr, induction, (name, i), loop)
+            if delta is None or (step is not None and step != delta):
+                return None
+            step = delta
+            step_sites.append(name)
+        else:
+            if instr.op is not Opcode.LI or start is not None:
+                return None
+            start = instr.a.value
+    if step in (None, 0) or start is None:
+        return None
+
+    # Soundness: the increment must run on *every* iteration, else the loop
+    # can spin without progressing and any bound would understate the WCET.
+    # Require some increment block to dominate every backedge source.
+    from .dominators import dominators as _dominators
+    dom = _dominators(function)
+    if not any(
+        all(site == src or site in dom.get(src, set())
+            for src, _ in loop.backedges)
+        for site in step_sites
+    ):
+        return None
+
+    if compare.op is Opcode.SLT and step > 0:
+        span = limit - start
+    elif compare.op is Opcode.SLE and step > 0:
+        span = limit - start + 1
+    elif compare.op is Opcode.SGT and step < 0:
+        span = start - limit
+    elif compare.op is Opcode.SGE and step < 0:
+        span = start - limit + 1
+    else:
+        return None
+    if span <= 0:
+        return 0
+    return -(-span // abs(step))
+
+
+def _step_of(function: Function, instr, induction, site, loop):
+    """The constant increment this in-loop definition applies, or None."""
+    from ..isa.instructions import Opcode
+    from ..isa.operands import Imm
+
+    if instr.op is Opcode.ADD and instr.a == induction \
+            and isinstance(instr.b, Imm) and instr.dst == induction:
+        return instr.b.value
+    if instr.op is Opcode.SUB and instr.a == induction \
+            and isinstance(instr.b, Imm) and instr.dst == induction:
+        return -instr.b.value
+    if instr.op is Opcode.MOV:
+        # i = t where t = i +/- C defined in the loop (the lowering shape).
+        source = instr.a
+        producer = None
+        for name, i, candidate in function.instructions():
+            if source in candidate.defs():
+                if producer is not None:
+                    return None  # ambiguous temp
+                producer = (name, candidate)
+        if producer is None or producer[0] not in loop.body:
+            return None
+        temp = producer[1]
+        if temp.op is Opcode.ADD and temp.a == induction \
+                and isinstance(temp.b, Imm):
+            return temp.b.value
+        if temp.op is Opcode.SUB and temp.a == induction \
+                and isinstance(temp.b, Imm):
+            return -temp.b.value
+    return None
+
+
+def loop_of_block(loops: List[Loop], block: str) -> Optional[Loop]:
+    """The innermost loop containing ``block`` (or ``None``)."""
+    best: Optional[Loop] = None
+    for loop in loops:
+        if block in loop.body and (best is None or len(loop.body) < len(best.body)):
+            best = loop
+    return best

@@ -1,0 +1,211 @@
+"""Two-way textual assembly for machine programs.
+
+The format is exactly what ``str(MachineProgram)`` prints, so
+``parse_program(str(prog))`` round-trips.  The assembler exists for tests,
+debugging dumps, and for writing small machine-level fixtures by hand.
+
+Example::
+
+    .data
+        counter 1
+        table 8 = 1, 2, 3
+    .func main
+    loop:
+        ld R4, [@counter + #0]
+        add R4, R4, #1
+        st R4, [@counter + #0]
+        slt R5, R4, #10
+        bnz R5, .loop
+        out R4
+        halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Union
+
+from ..errors import AsmError
+from .instructions import BINOPS, Instr, Opcode, UNOPS
+from .operands import Imm, Label, PReg, Sym, VReg
+from .program import MachineFunction, MachineProgram
+
+_OPCODES = {op.value: op for op in Opcode}
+_MEM_RE = re.compile(r"^\[\s*@(\w+)\s*\+\s*(.+?)\s*\]$")
+_DATA_RE = re.compile(r"^(\w+)\s+(\d+)(?:\s*=\s*(.+))?$")
+_KV_RE = re.compile(r"^(\w+)=(-?\d+)$")
+
+Operand = Union[VReg, PReg, Imm]
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse a register or immediate operand token."""
+    text = text.strip()
+    if re.fullmatch(r"R\d+", text):
+        return PReg(int(text[1:]))
+    if re.fullmatch(r"v\d+", text):
+        return VReg(int(text[1:]))
+    if text.startswith("#"):
+        try:
+            return Imm(int(text[1:], 0))
+        except ValueError as exc:
+            raise AsmError(f"bad immediate {text!r}") from exc
+    raise AsmError(f"bad operand {text!r}")
+
+
+def _parse_reg(text: str) -> Union[VReg, PReg]:
+    operand = parse_operand(text)
+    if isinstance(operand, Imm):
+        raise AsmError(f"expected a register, got {text!r}")
+    return operand
+
+
+def _split_args(rest: str) -> List[str]:
+    """Split an argument list on top-level commas (brackets protect commas)."""
+    args: List[str] = []
+    depth = 0
+    current = ""
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            args.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        args.append(current.strip())
+    return args
+
+
+def _parse_mem(text: str) -> tuple:
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AsmError(f"bad memory operand {text!r}")
+    return Sym(match.group(1)), parse_operand(match.group(2))
+
+
+def parse_instr(line: str) -> Instr:
+    """Parse one instruction line (no label, no leading whitespace)."""
+    line = line.strip()
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    if mnemonic not in _OPCODES:
+        raise AsmError(f"unknown opcode {mnemonic!r}")
+    op = _OPCODES[mnemonic]
+    args = _split_args(rest)
+
+    def need(count: int) -> None:
+        if len(args) != count:
+            raise AsmError(f"{mnemonic} expects {count} operands, got {len(args)}")
+
+    if op is Opcode.LI:
+        need(2)
+        imm = parse_operand(args[1])
+        if not isinstance(imm, Imm):
+            raise AsmError("li expects an immediate source")
+        return Instr(op, dst=_parse_reg(args[0]), a=imm)
+    if op in UNOPS:
+        need(2)
+        return Instr(op, dst=_parse_reg(args[0]), a=_parse_reg(args[1]))
+    if op in BINOPS:
+        need(3)
+        return Instr(op, dst=_parse_reg(args[0]), a=_parse_reg(args[1]),
+                     b=parse_operand(args[2]))
+    if op is Opcode.LD:
+        need(2)
+        sym, off = _parse_mem(args[1])
+        return Instr(op, dst=_parse_reg(args[0]), sym=sym, off=off)
+    if op is Opcode.ST:
+        need(2)
+        sym, off = _parse_mem(args[1])
+        return Instr(op, a=_parse_reg(args[0]), sym=sym, off=off)
+    if op is Opcode.BNZ:
+        need(2)
+        if not args[1].startswith("."):
+            raise AsmError(f"bad label {args[1]!r}")
+        return Instr(op, a=_parse_reg(args[0]), target=Label(args[1][1:]))
+    if op is Opcode.JMP:
+        need(1)
+        if not args[0].startswith("."):
+            raise AsmError(f"bad label {args[0]!r}")
+        return Instr(op, target=Label(args[0][1:]))
+    if op is Opcode.CALL:
+        need(1)
+        return Instr(op, callee=args[0])
+    if op is Opcode.OUT:
+        need(1)
+        return Instr(op, a=_parse_reg(args[0]))
+    if op is Opcode.SENSE:
+        need(1)
+        return Instr(op, dst=_parse_reg(args[0]))
+    if op is Opcode.CKPT:
+        need(3)
+        fields = {}
+        for arg in args[1:]:
+            match = _KV_RE.match(arg)
+            if not match:
+                raise AsmError(f"bad ckpt field {arg!r}")
+            fields[match.group(1)] = int(match.group(2))
+        if set(fields) != {"slot", "color"}:
+            raise AsmError("ckpt expects slot= and color= fields")
+        return Instr(op, a=_parse_reg(args[0]), reg_index=fields["slot"],
+                     color=fields["color"])
+    if op is Opcode.MARK:
+        need(1)
+        match = _KV_RE.match(args[0])
+        if not match or match.group(1) != "region":
+            raise AsmError("mark expects region=<id>")
+        return Instr(op, region=int(match.group(2)))
+    if op in (Opcode.RET, Opcode.HALT, Opcode.NOP):
+        need(0)
+        return Instr(op)
+    raise AsmError(f"unhandled opcode {mnemonic!r}")
+
+
+def parse_program(text: str) -> MachineProgram:
+    """Parse a full program (``.data`` section plus ``.func`` bodies)."""
+    program = MachineProgram()
+    section: Optional[str] = None
+    current: Optional[MachineFunction] = None
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line == ".data":
+            section = "data"
+            current = None
+            continue
+        if line.startswith(".func"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AsmError(f"bad function header {line!r}")
+            current = MachineFunction(parts[1])
+            program.add_function(current)
+            section = "code"
+            continue
+        if section == "data":
+            match = _DATA_RE.match(line)
+            if not match:
+                raise AsmError(f"bad data line {line!r}")
+            init = None
+            if match.group(3):
+                init = [int(tok.strip(), 0) for tok in match.group(3).split(",")]
+            program.add_data(match.group(1), int(match.group(2)), init)
+            continue
+        if section == "code" and current is not None:
+            if line.endswith(":"):
+                label = line[:-1].strip()
+                if not re.fullmatch(r"\w+", label):
+                    raise AsmError(f"bad label {label!r}")
+                if label in current.labels:
+                    raise AsmError(f"duplicate label {label!r} in {current.name}")
+                current.labels[label] = len(current.body)
+                continue
+            current.body.append(parse_instr(line))
+            continue
+        raise AsmError(f"statement outside any section: {line!r}")
+    return program

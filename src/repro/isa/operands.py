@@ -1,0 +1,112 @@
+"""Operand kinds for the reproduction's register-transfer instruction set.
+
+The compiler works on *virtual* registers (:class:`VReg`) with an unbounded
+namespace; register allocation rewrites them to *physical* registers
+(:class:`PReg`).  Immediates (:class:`Imm`) may appear as the second source
+operand of ALU instructions and as address offsets.  Memory operands name a
+data symbol (:class:`Sym`) plus an offset, which keeps alias analysis at
+symbol granularity (see :mod:`repro.ir.alias`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of architectural registers.
+NUM_REGS = 16
+
+#: Physical registers available to the register allocator.  R0 is hardwired
+#: to zero and R1-R3 are assembler temporaries used for spill reloads, so the
+#: allocator hands out R4..R15 (12 registers) — the same count of allocatable
+#: general-purpose registers as the MSP430 targets in the paper.
+ALLOCATABLE = tuple(range(4, NUM_REGS))
+
+#: Assembler/compiler scratch registers (never allocated, dead across
+#: instructions the compiler emits as a unit).
+SCRATCH = (1, 2, 3)
+
+#: The hardwired-zero register.
+ZERO_REG = 0
+
+MASK32 = 0xFFFFFFFF
+
+
+def wrap32(value: int) -> int:
+    """Wrap ``value`` to signed 32-bit two's-complement semantics."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def trunc_div(a: int, b: int) -> int:
+    """C-style (truncating) signed division, wrapped to 32 bits."""
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return wrap32(quotient)
+
+
+def trunc_rem(a: int, b: int) -> int:
+    """C-style remainder (sign follows the dividend), wrapped to 32 bits."""
+    return wrap32(a - trunc_div(a, b) * b)
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register, identified by a small integer."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"v{self.index}"
+
+
+@dataclass(frozen=True)
+class PReg:
+    """A physical (architectural) register R0..R15."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_REGS:
+            raise ValueError(f"physical register index out of range: {self.index}")
+
+    def __repr__(self) -> str:
+        return f"R{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A 32-bit immediate operand."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A data symbol: the base of a global, array, frame slot or runtime area.
+
+    ``name`` is unique program-wide.  The linker/layout step
+    (:meth:`repro.isa.program.MachineProgram.layout`) assigns each symbol a
+    base word address.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A branch target: the name of a basic block within a function."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f".{self.name}"
+
+
+Reg = (VReg, PReg)

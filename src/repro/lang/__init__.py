@@ -1,0 +1,9 @@
+"""MiniC front-end: lexer, parser, AST, and lowering to IR."""
+
+from . import ast
+from .lexer import Token, tokenize
+from .lowering import compile_source, lower_program
+from .parser import Parser, parse
+
+__all__ = ["Parser", "Token", "ast", "compile_source", "lower_program",
+           "parse", "tokenize"]

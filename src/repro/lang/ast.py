@@ -1,0 +1,162 @@
+"""Abstract syntax tree of MiniC.
+
+All nodes carry a ``line`` for diagnostics.  Expressions are int-typed
+(32-bit signed, wrapping); ``void`` exists only as a function return type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrIndex(Expr):
+    name: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""         # '-', '!', '~'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""         # arithmetic/relational/logical operator token
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class SenseExpr(Expr):
+    """The ``sense()`` builtin: read the next sensor sample."""
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    size: Optional[int] = None          # None = scalar; N = local array
+    init: Optional[Expr] = None         # scalars only
+    init_list: Optional[List[int]] = None  # arrays only
+
+
+@dataclass
+class Assign(Stmt):
+    target: str = ""
+    index: Optional[Expr] = None        # None = scalar assignment
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+    bound: Optional[int] = None         # explicit ``bound(N)`` annotation
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None         # Assign or VarDecl or None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None         # Assign or None
+    body: Optional[Stmt] = None
+    bound: Optional[int] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class OutStmt(Stmt):
+    """The ``out(e)`` builtin: emit a value on the observable channel."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Top level.
+# ----------------------------------------------------------------------
+@dataclass
+class GlobalDecl:
+    name: str
+    size: Optional[int] = None          # None = scalar
+    init_list: Optional[List[int]] = None
+    line: int = 0
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: List[str] = field(default_factory=list)
+    body: Optional[Block] = None
+    returns_value: bool = True          # False for ``void``
+    line: int = 0
+
+
+@dataclass
+class ProgramAst:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,110 @@
+"""Tokenizer for MiniC, the reproduction's benchmark source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "int", "void", "if", "else", "while", "for", "return",
+        "break", "continue", "bound", "out", "sense",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based line/column)."""
+
+    kind: str   # "num" | "ident" | keyword | operator | "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC source; raises :class:`LexError` on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        char = source[i]
+        # Whitespace.
+        if char in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if char == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, col)
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # Numbers (decimal and hex).
+        if char.isdigit():
+            start = i
+            if source.startswith(("0x", "0X"), i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            yield Token("num", text, line, col)
+            col += i - start
+            continue
+        # Identifiers and keywords.
+        if char.isalpha() or char == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = text if text in KEYWORDS else "ident"
+            yield Token(kind, text, line, col)
+            col += i - start
+            continue
+        # Operators and punctuation.
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token(op, op, line, col)
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, col)
+    yield Token("eof", "", line, col)

@@ -1,0 +1,367 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF, ``//`` and ``/* */`` comments allowed anywhere)::
+
+    program     := (global_decl | func_decl)*
+    global_decl := 'int' IDENT ('[' NUM ']')? ('=' init)? ';'
+    init        := NUM | '{' NUM (',' NUM)* '}'
+    func_decl   := ('int' | 'void') IDENT '(' params? ')' block
+    params      := 'int' IDENT (',' 'int' IDENT)*
+    block       := '{' stmt* '}'
+    stmt        := var_decl | assign | if | while | for | return
+                 | 'break' ';' | 'continue' ';' | out | expr ';' | block
+    var_decl    := 'int' IDENT ('[' NUM ']')? ('=' (expr | '{' NUM* '}'))? ';'
+    assign      := IDENT ('[' expr ']')? '=' expr ';'
+    if          := 'if' '(' expr ')' stmt ('else' stmt)?
+    while       := 'while' '(' expr ')' ('bound' '(' NUM ')')? stmt
+    for         := 'for' '(' simple? ';' expr? ';' simple_nosemi? ')'
+                   ('bound' '(' NUM ')')? stmt
+    out         := 'out' '(' expr ')' ';'
+    expr        := logic_or ; usual C precedence, short-circuit && and ||
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from . import ast
+from .lexer import Token, tokenize
+
+#: Binary precedence levels, loosest first.  ``&&``/``||`` are handled
+#: separately because they short-circuit.
+_PRECEDENCE: List[List[str]] = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._cur.kind == kind
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str) -> Token:
+        if not self._check(kind):
+            raise ParseError(
+                f"expected {kind!r}, found {self._cur.text!r}",
+                self._cur.line, self._cur.col,
+            )
+        return self._advance()
+
+    def _number(self) -> int:
+        token = self._expect("num")
+        return int(token.text, 0)
+
+    # -- top level -------------------------------------------------------
+    def parse_program(self) -> ast.ProgramAst:
+        program = ast.ProgramAst()
+        while not self._check("eof"):
+            is_void = self._check("void")
+            if not is_void and not self._check("int"):
+                raise ParseError(
+                    f"expected declaration, found {self._cur.text!r}",
+                    self._cur.line, self._cur.col,
+                )
+            self._advance()
+            name = self._expect("ident")
+            if self._check("("):
+                program.functions.append(
+                    self._func_rest(name.text, not is_void, name.line)
+                )
+            else:
+                if is_void:
+                    raise ParseError("void variables are not allowed",
+                                     name.line, name.col)
+                program.globals.append(self._global_rest(name.text, name.line))
+        return program
+
+    def _global_rest(self, name: str, line: int) -> ast.GlobalDecl:
+        size: Optional[int] = None
+        init_list: Optional[List[int]] = None
+        if self._accept("["):
+            size = self._number()
+            self._expect("]")
+        if self._accept("="):
+            init_list = self._init_values(scalar=size is None)
+        self._expect(";")
+        return ast.GlobalDecl(name=name, size=size, init_list=init_list, line=line)
+
+    def _init_values(self, scalar: bool) -> List[int]:
+        if scalar:
+            return [self._signed_number()]
+        self._expect("{")
+        values = [self._signed_number()]
+        while self._accept(","):
+            values.append(self._signed_number())
+        self._expect("}")
+        return values
+
+    def _signed_number(self) -> int:
+        if self._accept("-"):
+            return -self._number()
+        return self._number()
+
+    def _func_rest(self, name: str, returns_value: bool, line: int) -> ast.FuncDecl:
+        self._expect("(")
+        params: List[str] = []
+        if not self._check(")"):
+            while True:
+                self._expect("int")
+                params.append(self._expect("ident").text)
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        body = self._block()
+        return ast.FuncDecl(name=name, params=params, body=body,
+                            returns_value=returns_value, line=line)
+
+    # -- statements ------------------------------------------------------
+    def _block(self) -> ast.Block:
+        start = self._expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self._check("}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", start.line, start.col)
+            stmts.append(self._stmt())
+        self._expect("}")
+        return ast.Block(line=start.line, stmts=stmts)
+
+    def _stmt(self) -> ast.Stmt:
+        token = self._cur
+        if token.kind == "{":
+            return self._block()
+        if token.kind == "int":
+            return self._var_decl()
+        if token.kind == "if":
+            return self._if()
+        if token.kind == "while":
+            return self._while()
+        if token.kind == "for":
+            return self._for()
+        if token.kind == "return":
+            self._advance()
+            value = None if self._check(";") else self._expr()
+            self._expect(";")
+            return ast.Return(line=token.line, value=value)
+        if token.kind == "break":
+            self._advance()
+            self._expect(";")
+            return ast.Break(line=token.line)
+        if token.kind == "continue":
+            self._advance()
+            self._expect(";")
+            return ast.Continue(line=token.line)
+        if token.kind == "out":
+            self._advance()
+            self._expect("(")
+            value = self._expr()
+            self._expect(")")
+            self._expect(";")
+            return ast.OutStmt(line=token.line, value=value)
+        stmt = self._simple_stmt()
+        self._expect(";")
+        return stmt
+
+    def _simple_stmt(self) -> ast.Stmt:
+        """An assignment or expression statement, without the ';'."""
+        token = self._cur
+        if token.kind == "ident":
+            after = self._tokens[self._pos + 1]
+            if after.kind == "=":
+                self._advance()
+                self._advance()
+                return ast.Assign(line=token.line, target=token.text,
+                                  value=self._expr())
+            if after.kind == "[":
+                save = self._pos
+                self._advance()
+                self._advance()
+                index = self._expr()
+                self._expect("]")
+                if self._accept("="):
+                    return ast.Assign(line=token.line, target=token.text,
+                                      index=index, value=self._expr())
+                self._pos = save  # it was an expression like a[i] + 1
+        return ast.ExprStmt(line=token.line, expr=self._expr())
+
+    def _var_decl(self) -> ast.VarDecl:
+        token = self._expect("int")
+        name = self._expect("ident").text
+        size: Optional[int] = None
+        init: Optional[ast.Expr] = None
+        init_list: Optional[List[int]] = None
+        if self._accept("["):
+            size = self._number()
+            self._expect("]")
+        if self._accept("="):
+            if size is None:
+                init = self._expr()
+            else:
+                init_list = self._init_values(scalar=False)
+        self._expect(";")
+        return ast.VarDecl(line=token.line, name=name, size=size,
+                           init=init, init_list=init_list)
+
+    def _if(self) -> ast.If:
+        token = self._expect("if")
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        then = self._stmt()
+        otherwise = self._stmt() if self._accept("else") else None
+        return ast.If(line=token.line, cond=cond, then=then, otherwise=otherwise)
+
+    def _bound_annotation(self) -> Optional[int]:
+        if self._accept("bound"):
+            self._expect("(")
+            bound = self._number()
+            self._expect(")")
+            return bound
+        return None
+
+    def _while(self) -> ast.While:
+        token = self._expect("while")
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        bound = self._bound_annotation()
+        body = self._stmt()
+        return ast.While(line=token.line, cond=cond, body=body, bound=bound)
+
+    def _for(self) -> ast.For:
+        token = self._expect("for")
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(";"):
+            init = (self._var_decl_nosemi()
+                    if self._check("int") else self._simple_stmt())
+        if not isinstance(init, ast.VarDecl) or init is None:
+            self._expect(";")
+        cond: Optional[ast.Expr] = None
+        if not self._check(";"):
+            cond = self._expr()
+        self._expect(";")
+        step: Optional[ast.Stmt] = None
+        if not self._check(")"):
+            step = self._simple_stmt()
+        self._expect(")")
+        bound = self._bound_annotation()
+        body = self._stmt()
+        return ast.For(line=token.line, init=init, cond=cond, step=step,
+                       body=body, bound=bound)
+
+    def _var_decl_nosemi(self) -> ast.VarDecl:
+        token = self._expect("int")
+        name = self._expect("ident").text
+        init: Optional[ast.Expr] = None
+        if self._accept("="):
+            init = self._expr()
+        self._expect(";")
+        return ast.VarDecl(line=token.line, name=name, init=init)
+
+    # -- expressions -------------------------------------------------------
+    def _expr(self) -> ast.Expr:
+        return self._logic_or()
+
+    def _logic_or(self) -> ast.Expr:
+        left = self._logic_and()
+        while self._check("||"):
+            token = self._advance()
+            right = self._logic_and()
+            left = ast.Binary(line=token.line, op="||", left=left, right=right)
+        return left
+
+    def _logic_and(self) -> ast.Expr:
+        left = self._binary(0)
+        while self._check("&&"):
+            token = self._advance()
+            right = self._binary(0)
+            left = ast.Binary(line=token.line, op="&&", left=left, right=right)
+        return left
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        left = self._binary(level + 1)
+        while self._cur.kind in _PRECEDENCE[level]:
+            token = self._advance()
+            right = self._binary(level + 1)
+            left = ast.Binary(line=token.line, op=token.kind,
+                              left=left, right=right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._cur
+        if token.kind in ("-", "!", "~"):
+            self._advance()
+            return ast.Unary(line=token.line, op=token.kind,
+                             operand=self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._cur
+        if token.kind == "num":
+            self._advance()
+            return ast.Num(line=token.line, value=int(token.text, 0))
+        if token.kind == "sense":
+            self._advance()
+            self._expect("(")
+            self._expect(")")
+            return ast.SenseExpr(line=token.line)
+        if token.kind == "(":
+            self._advance()
+            expr = self._expr()
+            self._expect(")")
+            return expr
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("("):
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    args.append(self._expr())
+                    while self._accept(","):
+                        args.append(self._expr())
+                self._expect(")")
+                return ast.Call(line=token.line, name=token.text, args=args)
+            if self._accept("["):
+                index = self._expr()
+                self._expect("]")
+                return ast.ArrIndex(line=token.line, name=token.text, index=index)
+            return ast.Var(line=token.line, name=token.text)
+        raise ParseError(
+            f"expected an expression, found {token.text!r}",
+            token.line, token.col,
+        )
+
+
+def parse(source: str) -> ast.ProgramAst:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

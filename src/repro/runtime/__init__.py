@@ -1,0 +1,49 @@
+"""Runtimes and the intermittent-system simulator."""
+
+from .gecko_runtime import GeckoRuntime, MODE_JIT, MODE_ROLLBACK
+from .machine import Machine, StepResult, default_sensor_stream, run_to_completion
+from .metrics import (
+    OutputCheck,
+    check_outputs,
+    checkpoint_failure_rate,
+    forward_progress_rate,
+    progress_timeline,
+    relative_throughput,
+)
+from .nvp import NVPRuntime, RuntimeStats
+from .rollback import RollbackRuntime, build_region_table, execute_slice
+from .simulator import (
+    ATTACK_HARVEST_EFFICIENCY,
+    DeviceState,
+    IntermittentSimulator,
+    SimConfig,
+    SimResult,
+)
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "ATTACK_HARVEST_EFFICIENCY", "DeviceState", "GeckoRuntime",
+    "IntermittentSimulator", "MODE_JIT", "MODE_ROLLBACK", "Machine",
+    "NVPRuntime", "OutputCheck", "RollbackRuntime", "RuntimeStats",
+    "SimConfig", "SimResult", "StepResult", "TraceEvent", "Tracer",
+    "build_region_table",
+    "check_outputs", "checkpoint_failure_rate", "default_sensor_stream",
+    "execute_slice", "forward_progress_rate", "progress_timeline",
+    "relative_throughput", "run_to_completion",
+]
+
+
+def runtime_for(compiled, scheme: str = None):
+    """Instantiate the crash-consistency runtime matching a compiled program.
+
+    ``nvp`` -> :class:`NVPRuntime`, ``ratchet`` -> :class:`RollbackRuntime`,
+    ``gecko``/``gecko-nopruning`` -> :class:`GeckoRuntime`.
+    """
+    name = scheme or compiled.scheme
+    if name == "nvp":
+        return NVPRuntime()
+    if name == "ratchet":
+        return RollbackRuntime(compiled.linked)
+    if name in ("gecko", "gecko-nopruning"):
+        return GeckoRuntime(compiled.linked)
+    raise ValueError(f"no runtime for scheme {name!r}")

@@ -1,0 +1,317 @@
+"""The target machine: a 16-register core with non-volatile main memory.
+
+Models the MSP430FR-class MCUs of the paper: all of main memory is FRAM
+(survives power loss), the register file and program counter are volatile,
+and instruction costs follow :data:`repro.isa.instructions.CYCLES`.
+
+Peripheral semantics chosen for deterministic crash-consistency testing:
+
+* ``OUT`` values are buffered in a *volatile* output buffer and become
+  externally observable (``committed_out``) only at a commit point — a
+  ``MARK`` (region commit) or ``HALT``.  Because the compiler places a
+  boundary immediately after every I/O operation, committed output is
+  exactly-once under rollback re-execution.
+* ``SENSE`` reads a deterministic sensor stream through a volatile cursor
+  that commits at ``MARK`` (word ``__sensor_idx``) and is part of the JIT
+  checkpoint, so replayed regions re-observe identical samples.
+* ``MARK`` additionally persists the region id, the re-entry PC, a
+  completion counter (GECKO's timer-based detection input) and flips the
+  committed double-buffer color (Ratchet's dynamic convention).
+* ``CKPT`` stores one register into ``__ckpt0``/``__ckpt1``; a static color
+  comes from the instruction, the dynamic convention writes the complement
+  of the committed color.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from ..errors import MachineFault
+from ..isa.instructions import Instr, Opcode
+from ..isa.operands import (
+    Imm,
+    MASK32,
+    NUM_REGS,
+    PReg,
+    trunc_div,
+    trunc_rem,
+    wrap32,
+)
+from ..isa.program import LinkedProgram
+
+#: Maximum OUT values the JIT checkpoint can persist (area ``__jit_out``).
+JIT_OUT_CAPACITY = 32
+
+
+def default_sensor_stream(index: int) -> int:
+    """Deterministic pseudo-sensor: a cheap integer hash of the cursor."""
+    value = (index * 2654435761) & MASK32
+    return (value >> 16) & 0x3FF  # 10-bit ADC-style reading
+
+
+class StepResult(enum.Enum):
+    """Outcome of executing one instruction."""
+
+    RUNNING = "running"
+    HALTED = "halted"
+
+
+class Machine:
+    """Interpreter for a linked program with power-failure support."""
+
+    def __init__(self, program: LinkedProgram,
+                 sensor_stream: Optional[Callable[[int], int]] = None) -> None:
+        self.program = program
+        #: Non-volatile main memory (words), survives power_off().
+        self.mem: List[int] = list(program.init_words)
+        #: Volatile register file.
+        self.regs: List[int] = [0] * NUM_REGS
+        self.pc: int = program.entry_pc
+        self.halted = False
+        self.powered = True
+        self.cycles = 0
+        self.instr_count = 0
+        #: Volatile output buffer and the committed (observable) output log.
+        self.out_buffer: List[int] = []
+        self.committed_out: List[int] = []
+        #: Volatile sensor cursor.
+        self.sensor_cursor = 0
+        self.sensor_stream = sensor_stream or default_sensor_stream
+        #: Execution counters useful for metrics.
+        self.ckpt_stores_executed = 0
+        self.marks_executed = 0
+        #: Registers checkpointed on the per-register dynamic index since
+        #: the last MARK (volatile: an uncommitted region leaves the
+        #: committed index untouched).
+        self._pending_rcolor = set()
+        #: Per-word NVM write counts (FRAM endurance bookkeeping; the wear
+        #: vector the related-work NVP wear-out attacks exploit).
+        self.wear: List[int] = [0] * program.data_words
+        self._addr_cache: Dict[str, int] = {
+            name: base for name, (base, _) in program.symtab.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Memory helpers.
+    # ------------------------------------------------------------------
+    def addr(self, name: str, offset: int = 0) -> int:
+        return self._addr_cache[name] + offset
+
+    def read_word(self, name: str, offset: int = 0) -> int:
+        return self.mem[self.addr(name, offset)]
+
+    def write_word(self, name: str, offset: int, value: int) -> None:
+        address = self.addr(name, offset)
+        self.mem[address] = wrap32(value)
+        self.wear[address] += 1
+
+    def wear_of(self, name: str) -> int:
+        """Total writes the symbol's words have absorbed."""
+        base, size = self.program.symtab[name]
+        return sum(self.wear[base:base + size])
+
+    def wear_hotspots(self, top: int = 5):
+        """The most-written symbols: [(name, writes), ...]."""
+        totals = [
+            (name, self.wear_of(name)) for name in self.program.symtab
+        ]
+        totals.sort(key=lambda pair: -pair[1])
+        return totals[:top]
+
+    # ------------------------------------------------------------------
+    # Power events.
+    # ------------------------------------------------------------------
+    def power_off(self) -> None:
+        """Lose all volatile state (registers, PC, buffers, cursor)."""
+        self.powered = False
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.out_buffer = []
+        self.sensor_cursor = 0
+        self._pending_rcolor.clear()
+
+    def power_on(self) -> None:
+        """Raw power-up; a runtime must then restore or cold-boot."""
+        self.powered = True
+
+    def cold_boot(self) -> None:
+        """Start the program from its entry with a zeroed register file."""
+        self.powered = True
+        self.halted = False
+        self.regs = [0] * NUM_REGS
+        self.pc = self.program.entry_pc
+        self.out_buffer = []
+        self.sensor_cursor = self.read_word("__sensor_idx")
+        self._pending_rcolor.clear()
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def _value(self, operand) -> int:
+        if isinstance(operand, PReg):
+            return self.regs[operand.index]
+        if isinstance(operand, Imm):
+            return operand.value
+        raise MachineFault(f"bad operand {operand!r}")
+
+    def _effective_addr(self, instr: Instr) -> int:
+        base, size = self.program.symtab[instr.sym.name]
+        offset = self._value(instr.off)
+        address = base + offset
+        if not 0 <= offset < size:
+            raise MachineFault(
+                f"pc={self.pc}: access {instr.sym.name}[{offset}] out of "
+                f"bounds (size {size})"
+            )
+        return address
+
+    def step(self) -> int:
+        """Execute one instruction; returns the cycles it consumed.
+
+        Returns 0 when halted or unpowered.
+        Raises :class:`MachineFault` on traps.
+        """
+        if self.halted or not self.powered:
+            return 0
+        if not 0 <= self.pc < len(self.program.instrs):
+            raise MachineFault(f"program counter out of range: {self.pc}")
+        instr = self.program.instrs[self.pc]
+        target = self.program.targets[self.pc]
+        op = instr.op
+        regs = self.regs
+        next_pc = self.pc + 1
+
+        if op is Opcode.LI or op is Opcode.MOV:
+            regs[instr.dst.index] = self._value(instr.a)
+        elif op is Opcode.ADD:
+            regs[instr.dst.index] = wrap32(self._value(instr.a) + self._value(instr.b))
+        elif op is Opcode.SUB:
+            regs[instr.dst.index] = wrap32(self._value(instr.a) - self._value(instr.b))
+        elif op is Opcode.MUL:
+            regs[instr.dst.index] = wrap32(self._value(instr.a) * self._value(instr.b))
+        elif op is Opcode.DIV or op is Opcode.REM:
+            divisor = self._value(instr.b)
+            if divisor == 0:
+                raise MachineFault(f"pc={self.pc}: division by zero")
+            fn = trunc_div if op is Opcode.DIV else trunc_rem
+            regs[instr.dst.index] = fn(self._value(instr.a), divisor)
+        elif op is Opcode.AND:
+            regs[instr.dst.index] = wrap32(self._value(instr.a) & self._value(instr.b))
+        elif op is Opcode.OR:
+            regs[instr.dst.index] = wrap32(self._value(instr.a) | self._value(instr.b))
+        elif op is Opcode.XOR:
+            regs[instr.dst.index] = wrap32(self._value(instr.a) ^ self._value(instr.b))
+        elif op is Opcode.SHL:
+            regs[instr.dst.index] = wrap32(
+                self._value(instr.a) << (self._value(instr.b) & 31))
+        elif op is Opcode.SHR:
+            regs[instr.dst.index] = wrap32(
+                (self._value(instr.a) & MASK32) >> (self._value(instr.b) & 31))
+        elif op is Opcode.SAR:
+            regs[instr.dst.index] = wrap32(
+                self._value(instr.a) >> (self._value(instr.b) & 31))
+        elif op is Opcode.NEG:
+            regs[instr.dst.index] = wrap32(-self._value(instr.a))
+        elif op is Opcode.NOT:
+            regs[instr.dst.index] = wrap32(~self._value(instr.a))
+        elif op is Opcode.SLT:
+            regs[instr.dst.index] = int(self._value(instr.a) < self._value(instr.b))
+        elif op is Opcode.SLE:
+            regs[instr.dst.index] = int(self._value(instr.a) <= self._value(instr.b))
+        elif op is Opcode.SEQ:
+            regs[instr.dst.index] = int(self._value(instr.a) == self._value(instr.b))
+        elif op is Opcode.SNE:
+            regs[instr.dst.index] = int(self._value(instr.a) != self._value(instr.b))
+        elif op is Opcode.SGT:
+            regs[instr.dst.index] = int(self._value(instr.a) > self._value(instr.b))
+        elif op is Opcode.SGE:
+            regs[instr.dst.index] = int(self._value(instr.a) >= self._value(instr.b))
+        elif op is Opcode.LD:
+            regs[instr.dst.index] = self.mem[self._effective_addr(instr)]
+        elif op is Opcode.ST:
+            address = self._effective_addr(instr)
+            self.mem[address] = self._value(instr.a)
+            self.wear[address] += 1
+        elif op is Opcode.BNZ:
+            if self._value(instr.a) != 0:
+                next_pc = target
+        elif op is Opcode.JMP:
+            next_pc = target
+        elif op is Opcode.CALL:
+            slot = self.program.ret_slot[instr.callee]
+            self.mem[slot] = self.pc + 1
+            next_pc = target
+        elif op is Opcode.RET:
+            owner = self.program.owner[self.pc]
+            next_pc = self.mem[self.program.ret_slot[owner]]
+        elif op is Opcode.HALT:
+            self.halted = True
+            self._commit_output()
+            next_pc = self.pc
+        elif op is Opcode.OUT:
+            self.out_buffer.append(self._value(instr.a))
+        elif op is Opcode.SENSE:
+            regs[instr.dst.index] = wrap32(self.sensor_stream(self.sensor_cursor))
+            self.sensor_cursor += 1
+        elif op is Opcode.CKPT:
+            color = instr.color
+            if color is None:
+                if instr.meta.get("per_reg"):
+                    color = 1 - (self.read_word("__rcolor", instr.reg_index) & 1)
+                    self._pending_rcolor.add(instr.reg_index)
+                else:
+                    color = 1 - (self.read_word("__color") & 1)
+            self.write_word(f"__ckpt{color}", instr.reg_index,
+                            regs[instr.a.index])
+            self.ckpt_stores_executed += 1
+        elif op is Opcode.MARK:
+            self._commit_region(instr)
+        elif op is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive dispatch
+            raise MachineFault(f"unimplemented opcode {op}")
+
+        self.pc = next_pc
+        cost = instr.cycles
+        self.cycles += cost
+        self.instr_count += 1
+        return cost
+
+    def _commit_region(self, instr: Instr) -> None:
+        self.write_word("__region_cur", 0, instr.region or 0)
+        self.write_word("__region_pc", 0, self.pc + 1)
+        self.write_word("__region_done", 0, self.read_word("__region_done") + 1)
+        self.write_word("__color", 0, 1 - (self.read_word("__color") & 1))
+        for reg_index in self._pending_rcolor:
+            # Commit per-register dynamic indices: the buffer written since
+            # the previous boundary becomes the restore buffer.
+            self.write_word("__rcolor", reg_index,
+                            1 - (self.read_word("__rcolor", reg_index) & 1))
+        self._pending_rcolor.clear()
+        self.write_word("__sensor_idx", 0, self.sensor_cursor)
+        self._commit_output()
+        self.marks_executed += 1
+
+    def _commit_output(self) -> None:
+        self.committed_out.extend(self.out_buffer)
+        self.out_buffer.clear()
+
+    def run(self, max_steps: int = 10_000_000) -> StepResult:
+        """Run until HALT (or until ``max_steps``, raising on overrun)."""
+        for _ in range(max_steps):
+            if self.halted:
+                return StepResult.HALTED
+            self.step()
+        if self.halted:
+            return StepResult.HALTED
+        raise MachineFault(f"program did not halt within {max_steps} steps")
+
+
+def run_to_completion(program: LinkedProgram,
+                      sensor_stream: Optional[Callable[[int], int]] = None,
+                      max_steps: int = 10_000_000) -> Machine:
+    """Convenience: execute a program on stable power and return the machine."""
+    machine = Machine(program, sensor_stream=sensor_stream)
+    machine.run(max_steps=max_steps)
+    return machine

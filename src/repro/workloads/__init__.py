@@ -1,0 +1,83 @@
+"""The eleven MiniC benchmark applications from the paper's evaluation.
+
+``source(name)`` returns MiniC text for any of :data:`WORKLOAD_NAMES`;
+``expected_output(name)`` returns the known-good committed output, either
+from a Python reference implementation or (for purely synthetic kernels)
+by running the NVP-compiled program on stable power once and caching it.
+"""
+
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+from . import (
+    basicmath,
+    bitcnt,
+    blink,
+    crc16,
+    crc32,
+    dhrystone,
+    dijkstra,
+    fft,
+    fir,
+    qsort,
+    stringsearch,
+)
+
+_MODULES = {
+    "basicmath": basicmath,
+    "bitcnt": bitcnt,
+    "blink": blink,
+    "crc16": crc16,
+    "crc32": crc32,
+    "dhrystone": dhrystone,
+    "dijkstra": dijkstra,
+    "fft": fft,
+    "fir": fir,
+    "qsort": qsort,
+    "stringsearch": stringsearch,
+}
+
+#: Benchmark names in the paper's (alphabetical) order.
+WORKLOAD_NAMES: List[str] = list(_MODULES)
+
+#: A small subset for quick experiments and fast test runs.
+FAST_WORKLOADS: List[str] = ["blink", "crc16", "bitcnt", "fir"]
+
+
+def source(name: str) -> str:
+    """MiniC source text of a workload."""
+    try:
+        return _MODULES[name].SOURCE
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        ) from None
+
+
+def reference_output(name: str) -> Optional[List[int]]:
+    """The Python-computed expected output, when the workload has one."""
+    return getattr(_MODULES[name], "EXPECTED", None)
+
+
+@lru_cache(maxsize=None)
+def expected_output(name: str) -> List[int]:
+    """Known-good committed output of a workload (golden run)."""
+    reference = reference_output(name)
+    if reference is not None:
+        return list(reference)
+    from ..core import compile_nvp
+    from ..runtime import run_to_completion
+
+    machine = run_to_completion(compile_nvp(source(name)).linked)
+    return list(machine.committed_out)
+
+
+def all_sources() -> Dict[str, str]:
+    """name -> MiniC source for every workload."""
+    return {name: source(name) for name in WORKLOAD_NAMES}
+
+
+__all__ = [
+    "FAST_WORKLOADS", "WORKLOAD_NAMES", "all_sources", "expected_output",
+    "reference_output", "source",
+]

@@ -1,0 +1,68 @@
+"""basicmath: integer square roots, cube evaluation, GCD and LCM.
+
+The MiBench ``basicmath`` kernel exercises arithmetic-heavy straight-line
+code with data-dependent loop exits; this port keeps those traits in
+integer form (Newton's method for isqrt, trial cube evaluation, Euclid's
+GCD) and emits a digest of every result.
+"""
+
+SOURCE = """
+// basicmath: integer math kernels (MiBench port).
+int results[40];
+int count;
+
+int isqrt(int x) {
+    if (x < 2) { return x; }
+    // Monotone Newton descent: next < guess until the floor is reached,
+    // which guarantees termination (no two-cycle oscillation).
+    int guess = x;
+    int next = (x + 1) / 2;
+    while (next < guess) bound(40) {
+        guess = next;
+        next = (guess + x / guess) / 2;
+    }
+    return guess;
+}
+
+int gcd(int a, int b) {
+    while (b != 0) bound(48) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+
+int cube_root_floor(int x) {
+    int r = 0;
+    while ((r + 1) * (r + 1) * (r + 1) <= x) bound(300) {
+        r = r + 1;
+    }
+    return r;
+}
+
+void record(int v) {
+    results[count] = v;
+    count = count + 1;
+}
+
+void main() {
+    count = 0;
+    for (int i = 1; i < 12; i = i + 1) {
+        record(isqrt(i * i * 97 + i));
+    }
+    for (int i = 0; i < 8; i = i + 1) {
+        record(cube_root_floor(i * 1000 + 37));
+    }
+    record(gcd(3528, 3780));
+    record(gcd(270, 192));
+    record(gcd(65536, 40902));
+    int digest = 0;
+    for (int i = 0; i < count; i = i + 1) bound(40) {
+        digest = digest * 31 + results[i];
+        digest = digest % 1000003;
+    }
+    out(digest);
+    out(count);
+}
+"""

@@ -1,0 +1,67 @@
+"""bitcnt: four bit-counting strategies cross-checked against each other.
+
+Mirrors MiBench ``bitcount``: the same values are counted with a naive
+shift loop, Kernighan's trick, a nibble lookup table (read-only — a prime
+target for GECKO's recovery blocks), and a parallel SWAR reduction.
+"""
+
+SOURCE = """
+// bitcnt: count set bits four different ways (MiBench port).
+int nibble_table[16] = {0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4};
+int totals[4];
+
+int count_shift(int x) {
+    int n = 0;
+    for (int i = 0; i < 32; i = i + 1) {
+        n = n + ((x >> i) & 1);
+    }
+    return n;
+}
+
+int count_kernighan(int x) {
+    int n = 0;
+    while (x != 0) bound(32) {
+        x = x & (x - 1);
+        n = n + 1;
+    }
+    return n;
+}
+
+int count_table(int x) {
+    int n = 0;
+    for (int i = 0; i < 8; i = i + 1) {
+        n = n + nibble_table[(x >> (i * 4)) & 15];
+    }
+    return n;
+}
+
+int count_swar(int x) {
+    int v = x;
+    v = (v & 0x55555555) + ((v >> 1) & 0x55555555);
+    v = (v & 0x33333333) + ((v >> 2) & 0x33333333);
+    v = (v & 0x0F0F0F0F) + ((v >> 4) & 0x0F0F0F0F);
+    v = (v & 0x00FF00FF) + ((v >> 8) & 0x00FF00FF);
+    v = (v & 0x0000FFFF) + ((v >> 16) & 0x0000FFFF);
+    return v;
+}
+
+void main() {
+    totals[0] = 0; totals[1] = 0; totals[2] = 0; totals[3] = 0;
+    int seed = 0x12345;
+    for (int i = 0; i < 24; i = i + 1) {
+        seed = seed * 1103515245 + 12345;
+        int value = seed & 0x7FFFFFFF;
+        totals[0] = totals[0] + count_shift(value);
+        totals[1] = totals[1] + count_kernighan(value);
+        totals[2] = totals[2] + count_table(value);
+        totals[3] = totals[3] + count_swar(value);
+    }
+    out(totals[0]);
+    if (totals[0] == totals[1] && totals[1] == totals[2]
+            && totals[2] == totals[3]) {
+        out(1);
+    } else {
+        out(0);
+    }
+}
+"""

@@ -1,0 +1,39 @@
+"""blink: the canonical intermittent-systems demo application.
+
+A sensing loop that toggles an "LED" (an ``out`` per iteration) based on a
+sampled threshold.  I/O dominates: every iteration crosses the I/O region
+boundaries, making blink the stress test for boundary overhead — and the
+workload where the paper's Table III reports the fewest checkpoints (6).
+"""
+
+SOURCE = """
+// blink: sense-and-toggle loop (intermittent-computing hello world).
+int led;
+int above;
+
+int smooth(int sample, int previous) {
+    // 3-tap exponential smoothing, the usual pre-filter before a
+    // threshold decision (and the "delay" real blink loops burn anyway).
+    int acc = sample * 3 + previous * 5;
+    for (int k = 0; k < 8; k = k + 1) {
+        acc = acc + ((sample >> k) & 1) * k;
+    }
+    return acc / 8;
+}
+
+void main() {
+    led = 0;
+    above = 0;
+    int filtered = 0;
+    for (int i = 0; i < 16; i = i + 1) {
+        int sample = sense();
+        filtered = smooth(sample, filtered);
+        if (filtered > 512) {
+            above = above + 1;
+            led = 1 - led;
+        }
+        out(led);
+    }
+    out(above);
+}
+"""

@@ -1,0 +1,57 @@
+"""crc16: bitwise CCITT CRC-16 over a message buffer.
+
+No lookup table — the classic shift/xor inner loop, so the hot region is
+pure register arithmetic plus one message load per byte.  The expected
+checksum is computed in Python for the test suite.
+"""
+
+from typing import List
+
+#: The message the kernel checksums (fits MCU-scale buffers).
+MESSAGE: List[int] = [ord(c) for c in "GECKO defends just-in-time checkpoints!"]
+
+POLY = 0x1021
+
+
+def crc16_reference(data: List[int], init: int = 0xFFFF) -> int:
+    """Python reference implementation (CCITT-FALSE)."""
+    crc = init
+    for byte in data:
+        crc ^= (byte & 0xFF) << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def _message_init() -> str:
+    return ", ".join(str(b) for b in MESSAGE)
+
+
+SOURCE = f"""
+// crc16: bitwise CCITT CRC-16 (MiBench-style kernel).
+int message[{len(MESSAGE)}] = {{{_message_init()}}};
+
+int crc16(int length) {{
+    int crc = 0xFFFF;
+    for (int i = 0; i < length; i = i + 1) bound({len(MESSAGE)}) {{
+        crc = crc ^ ((message[i] & 0xFF) << 8);
+        for (int bit = 0; bit < 8; bit = bit + 1) {{
+            if ((crc & 0x8000) != 0) {{
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF;
+            }} else {{
+                crc = (crc << 1) & 0xFFFF;
+            }}
+        }}
+    }}
+    return crc;
+}}
+
+void main() {{
+    out(crc16({len(MESSAGE)}));
+}}
+"""
+
+EXPECTED = [crc16_reference(MESSAGE)]

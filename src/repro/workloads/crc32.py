@@ -1,0 +1,68 @@
+"""crc32: table-driven CRC-32 over a message buffer.
+
+The 256-entry lookup table is a read-only global — exactly the kind of
+value GECKO's recovery blocks can reload instead of checkpointing, and a
+workload where pruning shines.  The table itself is generated here and
+embedded into the MiniC source as initialised data.
+"""
+
+from typing import List
+
+MESSAGE: List[int] = [ord(c) for c in
+                      "Intermittent systems harvest ambient energy."] * 2
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for n in range(256):
+        value = n
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ _POLY
+            else:
+                value >>= 1
+        table.append(value)
+    return table
+
+
+TABLE = _build_table()
+
+
+def crc32_reference(data: List[int]) -> int:
+    """Python reference CRC-32 (IEEE 802.3)."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _int_list(values: List[int]) -> str:
+    return ", ".join(str(_signed(v)) for v in values)
+
+
+SOURCE = f"""
+// crc32: table-driven IEEE CRC-32 (MiBench port).
+int crc_table[256] = {{{_int_list(TABLE)}}};
+int message[{len(MESSAGE)}] = {{{_int_list(MESSAGE)}}};
+
+int crc32(int length) {{
+    int crc = 0xFFFFFFFF;
+    for (int i = 0; i < length; i = i + 1) {{
+        int index = (crc ^ message[i]) & 0xFF;
+        crc = crc_table[index] ^ ((crc >> 8) & 0x00FFFFFF);
+    }}
+    return crc ^ 0xFFFFFFFF;
+}}
+
+void main() {{
+    out(crc32({len(MESSAGE)}));
+}}
+"""
+
+EXPECTED = [_signed(crc32_reference(MESSAGE))]

@@ -1,0 +1,97 @@
+"""dhrystone: the classic synthetic integer mix, reduced to MiniC.
+
+Keeps Dhrystone's signature traits — global record updates, short helper
+procedures, parameter passing, array shuffling and branchy enum logic —
+in a deterministic loop whose digest is emitted at the end.
+"""
+
+SOURCE = """
+// dhrystone: synthetic integer workload (reduced Dhrystone 2.1).
+int int_glob;
+int bool_glob;
+int ch_1_glob;
+int ch_2_glob;
+int arr_1[32];
+int arr_2[32];
+int record_a;   // "record" fields flattened to globals
+int record_b;
+int record_discr;
+
+int func_1(int ch_1, int ch_2) {
+    int ch_local = ch_1;
+    if (ch_local != ch_2) { return 0; }
+    ch_1_glob = ch_local;
+    return 1;
+}
+
+int func_2(int str_1, int str_2) {
+    int int_loc = 1;
+    int ch_loc = 0;
+    while (int_loc <= 1) bound(2) {
+        if (func_1(str_1 + int_loc, str_2 + int_loc) == 0) {
+            ch_loc = 65;
+            int_loc = int_loc + 1;
+        } else {
+            int_loc = int_loc + 2;
+        }
+    }
+    if (ch_loc >= 65 && ch_loc < 90) { int_loc = 7; }
+    if (str_1 > str_2) { return int_loc + 10; }
+    return 0;
+}
+
+int func_3(int val) {
+    if (val == 2) { return 1; }
+    return 0;
+}
+
+void proc_6(int enum_val) {
+    record_discr = enum_val;
+    if (func_3(enum_val) == 0) { record_discr = 3; }
+    if (enum_val == 0) { record_discr = 0; }
+    if (enum_val == 1) {
+        if (int_glob > 100) { record_discr = 0; }
+        else { record_discr = 3; }
+    }
+    if (enum_val == 2) { record_discr = 1; }
+}
+
+void proc_7(int in_1, int in_2) {
+    record_a = in_1 + 2;
+    record_b = record_a + in_2;
+}
+
+void proc_8(int base, int index) {
+    int loc = index + 5;
+    arr_1[loc] = base;
+    arr_1[loc + 1] = arr_1[loc];
+    arr_1[loc + 20] = loc;
+    for (int i = loc; i <= loc + 1; i = i + 1) bound(2) {
+        arr_2[i] = loc;
+    }
+    arr_2[loc + 10] = arr_2[loc + 10] + 1;
+    int_glob = 5;
+}
+
+void main() {
+    int_glob = 0;
+    bool_glob = 0;
+    ch_1_glob = 0;
+    int runs = 12;
+    int digest = 0;
+    for (int run = 0; run < runs; run = run + 1) {
+        proc_7(run, 3);
+        bool_glob = func_2(65 + (run % 3), 66);
+        proc_8(record_b, run % 6);
+        proc_6(run % 4);
+        int sum = 0;
+        for (int i = 0; i < 32; i = i + 1) {
+            sum = sum + arr_1[i] - arr_2[i];
+        }
+        digest = (digest * 17 + sum + record_discr + bool_glob
+                  + ch_1_glob + int_glob) % 1000003;
+    }
+    out(digest);
+    out(int_glob);
+}
+"""

@@ -1,0 +1,94 @@
+"""dijkstra: single-source shortest paths on a dense little graph.
+
+A flattened adjacency matrix with a linear-scan priority selection — the
+MiBench network kernel at MCU scale.  Heavy array WAR traffic makes this
+the workload with the most anti-dependence region cuts.
+"""
+
+from typing import List
+
+N = 9
+INF = 1 << 20
+
+#: Deterministic weighted digraph (0 = no edge), flattened row-major.
+_EDGES = [
+    (0, 1, 4), (0, 2, 9), (0, 3, 7), (1, 2, 3), (1, 4, 8),
+    (2, 4, 2), (2, 5, 6), (3, 5, 5), (3, 6, 11), (4, 7, 7),
+    (5, 7, 4), (5, 6, 2), (6, 8, 6), (7, 8, 3), (2, 3, 1),
+    (4, 5, 1), (1, 3, 6),
+]
+
+
+def _matrix() -> List[int]:
+    matrix = [0] * (N * N)
+    for a, b, w in _EDGES:
+        matrix[a * N + b] = w
+        matrix[b * N + a] = w
+    return matrix
+
+
+def dijkstra_reference(src: int = 0) -> List[int]:
+    """Python reference shortest-path distances from ``src``."""
+    matrix = _matrix()
+    dist = [INF] * N
+    done = [False] * N
+    dist[src] = 0
+    for _ in range(N):
+        best, best_d = -1, INF + 1
+        for v in range(N):
+            if not done[v] and dist[v] < best_d:
+                best, best_d = v, dist[v]
+        if best < 0:
+            break
+        done[best] = True
+        for v in range(N):
+            w = matrix[best * N + v]
+            if w and dist[best] + w < dist[v]:
+                dist[v] = dist[best] + w
+    return dist
+
+
+def _init_list(values: List[int]) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+SOURCE = f"""
+// dijkstra: shortest paths over a flattened adjacency matrix.
+int adj[{N * N}] = {{{_init_list(_matrix())}}};
+int dist[{N}];
+int done[{N}];
+
+void main() {{
+    int n = {N};
+    int inf = {INF};
+    for (int i = 0; i < {N}; i = i + 1) {{
+        dist[i] = inf;
+        done[i] = 0;
+    }}
+    dist[0] = 0;
+    for (int round = 0; round < {N}; round = round + 1) {{
+        int best = 0 - 1;
+        int best_d = inf + 1;
+        for (int v = 0; v < {N}; v = v + 1) {{
+            if (done[v] == 0 && dist[v] < best_d) {{
+                best = v;
+                best_d = dist[v];
+            }}
+        }}
+        if (best >= 0) {{
+            done[best] = 1;
+            for (int v = 0; v < {N}; v = v + 1) {{
+                int w = adj[best * n + v];
+                if (w != 0 && dist[best] + w < dist[v]) {{
+                    dist[v] = dist[best] + w;
+                }}
+            }}
+        }}
+    }}
+    for (int i = 0; i < {N}; i = i + 1) {{
+        out(dist[i]);
+    }}
+}}
+"""
+
+EXPECTED = dijkstra_reference()

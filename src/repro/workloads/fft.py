@@ -1,0 +1,129 @@
+"""fft: fixed-point radix-2 decimation-in-time FFT, N = 16.
+
+Twiddle factors are Q8 fixed-point constants baked into read-only tables
+(generated here with :mod:`math`), mirroring how embedded FFTs ship
+coefficient ROMs.  The kernel reports the magnitude-squared digest of the
+spectrum; the Python reference performs the identical integer algorithm so
+expected outputs match bit-for-bit.
+"""
+
+import math
+from typing import List, Tuple
+
+N = 16
+SCALE = 256  # Q8 fixed point
+
+
+def _twiddles() -> Tuple[List[int], List[int]]:
+    cos_t, sin_t = [], []
+    for k in range(N // 2):
+        angle = -2.0 * math.pi * k / N
+        cos_t.append(int(round(math.cos(angle) * SCALE)))
+        sin_t.append(int(round(math.sin(angle) * SCALE)))
+    return cos_t, sin_t
+
+
+COS_TABLE, SIN_TABLE = _twiddles()
+
+#: Input signal: a two-tone integer waveform.
+SIGNAL = [
+    int(round(100 * math.sin(2 * math.pi * 2 * n / N)
+              + 50 * math.sin(2 * math.pi * 5 * n / N)))
+    for n in range(N)
+]
+
+
+def _tdiv(a: int, b: int) -> int:
+    """C-style truncating division (matches the MiniC ``/`` operator)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _bit_reverse(n: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (n & 1)
+        n >>= 1
+    return out
+
+
+def fft_reference() -> List[int]:
+    """Integer FFT identical to the MiniC kernel; returns |X_k|^2 digests."""
+    bits = N.bit_length() - 1
+    re = [SIGNAL[_bit_reverse(i, bits)] for i in range(N)]
+    im = [0] * N
+    size = 2
+    while size <= N:
+        half = size // 2
+        step = N // size
+        for start in range(0, N, size):
+            for k in range(half):
+                c = COS_TABLE[k * step]
+                s = SIN_TABLE[k * step]
+                i = start + k
+                j = i + half
+                tr = _tdiv(c * re[j] - s * im[j], SCALE)
+                ti = _tdiv(c * im[j] + s * re[j], SCALE)
+                re[j] = re[i] - tr
+                im[j] = im[i] - ti
+                re[i] = re[i] + tr
+                im[i] = im[i] + ti
+        size *= 2
+    return [(re[k] * re[k] + im[k] * im[k]) % 1000003 for k in range(N)]
+
+
+def _init_list(values: List[int]) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+SOURCE = f"""
+// fft: fixed-point radix-2 DIT FFT, N = {N} (MiBench port).
+int cos_table[{N // 2}] = {{{_init_list(COS_TABLE)}}};
+int sin_table[{N // 2}] = {{{_init_list(SIN_TABLE)}}};
+int signal[{N}] = {{{_init_list(SIGNAL)}}};
+int re[{N}];
+int im[{N}];
+
+int bit_reverse(int value, int bits) {{
+    int result = 0;
+    for (int i = 0; i < bits; i = i + 1) {{
+        result = (result << 1) | (value & 1);
+        value = value >> 1;
+    }}
+    return result;
+}}
+
+void main() {{
+    int n = {N};
+    int bits = 4;
+    for (int i = 0; i < {N}; i = i + 1) {{
+        re[i] = signal[bit_reverse(i, bits)];
+        im[i] = 0;
+    }}
+    int size = 2;
+    while (size <= n) bound(4) {{
+        int half = size / 2;
+        int step = n / size;
+        for (int start = 0; start < n; start = start + size) bound({N // 2}) {{
+            for (int k = 0; k < half; k = k + 1) bound({N // 2}) {{
+                int c = cos_table[k * step];
+                int s = sin_table[k * step];
+                int i = start + k;
+                int j = i + half;
+                int tr = (c * re[j] - s * im[j]) / {SCALE};
+                int ti = (c * im[j] + s * re[j]) / {SCALE};
+                re[j] = re[i] - tr;
+                im[j] = im[i] - ti;
+                re[i] = re[i] + tr;
+                im[i] = im[i] + ti;
+            }}
+        }}
+        size = size * 2;
+    }}
+    for (int k = 0; k < {N}; k = k + 1) {{
+        out((re[k] * re[k] + im[k] * im[k]) % 1000003);
+    }}
+}}
+"""
+
+EXPECTED = fft_reference()

@@ -1,0 +1,72 @@
+"""fir: integer FIR filter over a sampled waveform.
+
+A Q8 fixed-point low-pass with read-only coefficient taps, streaming over
+an input buffer — the paper's intro archetype of a sensing workload.
+"""
+
+import math
+from typing import List
+
+TAPS = [3, 10, 21, 31, 35, 31, 21, 10, 3]  # Q8-ish low-pass kernel
+SAMPLES = [
+    int(round(120 * math.sin(2 * math.pi * n / 12)
+              + 40 * math.sin(2 * math.pi * n / 3)))
+    for n in range(48)
+]
+SCALE = 128
+
+
+def _tdiv(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def fir_reference() -> List[int]:
+    """Python reference: truncating fixed-point convolution digest."""
+    outputs = []
+    for n in range(len(TAPS) - 1, len(SAMPLES)):
+        acc = 0
+        for k, tap in enumerate(TAPS):
+            acc += tap * SAMPLES[n - k]
+        outputs.append(_tdiv(acc, SCALE))
+    digest = 0
+    for value in outputs:
+        digest = (digest * 31 + value) % 1000003
+        if digest < 0:
+            digest += 1000003
+    return [digest, len(outputs)]
+
+
+def _init_list(values: List[int]) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+SOURCE = f"""
+// fir: Q8 fixed-point FIR low-pass filter.
+int taps[{len(TAPS)}] = {{{_init_list(TAPS)}}};
+int samples[{len(SAMPLES)}] = {{{_init_list(SAMPLES)}}};
+int filtered[{len(SAMPLES)}];
+
+void main() {{
+    int ntaps = {len(TAPS)};
+    int nsamples = {len(SAMPLES)};
+    int count = 0;
+    for (int n = ntaps - 1; n < nsamples; n = n + 1) {{
+        int acc = 0;
+        for (int k = 0; k < ntaps; k = k + 1) {{
+            acc = acc + taps[k] * samples[n - k];
+        }}
+        filtered[count] = acc / {SCALE};
+        count = count + 1;
+    }}
+    int digest = 0;
+    for (int i = 0; i < count; i = i + 1) bound({len(SAMPLES)}) {{
+        digest = (digest * 31 + filtered[i]) % 1000003;
+        if (digest < 0) {{ digest = digest + 1000003; }}
+    }}
+    out(digest);
+    out(count);
+}}
+"""
+
+EXPECTED = fir_reference()

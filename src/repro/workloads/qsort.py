@@ -1,0 +1,80 @@
+"""qsort: iterative quicksort with an explicit stack.
+
+Recursion is unsupported on the static-frame convention (as on many real
+MCU toolchains), so the classic MiBench ``qsort`` becomes the equally
+classic explicit-stack formulation — which also makes the stack array a
+rich source of WAR dependences for region formation.
+"""
+
+from typing import List
+
+DATA: List[int] = [
+    887, 21, 406, 555, 3, 912, 730, 148, 371, 62,
+    640, 289, 777, 104, 58, 963, 212, 498, 333, 846,
+    17, 925, 671, 254,
+]
+
+
+def qsort_reference() -> List[int]:
+    """Expected output: the sorted data followed by a digest."""
+    ordered = sorted(DATA)
+    digest = 0
+    for value in ordered:
+        digest = (digest * 13 + value) % 1000003
+    return ordered + [digest]
+
+
+def _init_list(values: List[int]) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+SOURCE = f"""
+// qsort: iterative quicksort with an explicit stack (MiBench port).
+int data[{len(DATA)}] = {{{_init_list(DATA)}}};
+int stack[64];
+
+void main() {{
+    int n = {len(DATA)};
+    int top = 0;
+    stack[top] = 0;
+    stack[top + 1] = n - 1;
+    top = 2;
+    while (top > 0) bound(128) {{
+        top = top - 2;
+        int lo = stack[top];
+        int hi = stack[top + 1];
+        if (lo < hi) {{
+            int pivot = data[hi];
+            int i = lo - 1;
+            for (int j = lo; j < hi; j = j + 1) bound({len(DATA)}) {{
+                if (data[j] <= pivot) {{
+                    i = i + 1;
+                    int tmp = data[i];
+                    data[i] = data[j];
+                    data[j] = tmp;
+                }}
+            }}
+            int tmp2 = data[i + 1];
+            data[i + 1] = data[hi];
+            data[hi] = tmp2;
+            int p = i + 1;
+            stack[top] = lo;
+            stack[top + 1] = p - 1;
+            top = top + 2;
+            stack[top] = p + 1;
+            stack[top + 1] = hi;
+            top = top + 2;
+        }}
+    }}
+    for (int i = 0; i < n; i = i + 1) {{
+        out(data[i]);
+    }}
+    int digest = 0;
+    for (int i = 0; i < n; i = i + 1) {{
+        digest = (digest * 13 + data[i]) % 1000003;
+    }}
+    out(digest);
+}}
+"""
+
+EXPECTED = qsort_reference()

@@ -1,0 +1,89 @@
+"""stringsearch: Horspool substring search over a text corpus.
+
+Several patterns are searched with a per-pattern bad-character skip table
+rebuilt in a writable global — the rebuild creates the dense WAR traffic
+that gives stringsearch the paper's largest checkpoint count (Table III:
+1128 stores).
+"""
+
+from typing import List, Tuple
+
+TEXT = (
+    "energy harvesting systems have emerged as an alternative to battery "
+    "powered devices; the voltage monitor is at the heart of intermittent "
+    "systems because it detects the power outage and checkpoints state"
+)
+
+PATTERNS = ["voltage", "checkpoint", "battery", "gecko", "systems", "outage"]
+
+ALPHABET = 128
+
+
+def search_reference() -> List[int]:
+    """First match offset of each pattern (-1 when absent)."""
+    results = []
+    for pattern in PATTERNS:
+        index = TEXT.find(pattern)
+        results.append(index)
+    return results
+
+
+def _encode(text: str) -> List[int]:
+    return [ord(c) for c in text]
+
+
+def _init_list(values: List[int]) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+def _pattern_table() -> Tuple[List[int], List[int]]:
+    """Flatten patterns into one array with (offset, length) descriptors."""
+    blob: List[int] = []
+    descr: List[int] = []
+    for pattern in PATTERNS:
+        descr.append(len(blob))
+        descr.append(len(pattern))
+        blob.extend(_encode(pattern))
+    return blob, descr
+
+
+_BLOB, _DESCR = _pattern_table()
+_TEXT = _encode(TEXT)
+
+
+SOURCE = f"""
+// stringsearch: Horspool search, one skip-table rebuild per pattern.
+int text[{len(_TEXT)}] = {{{_init_list(_TEXT)}}};
+int patterns[{len(_BLOB)}] = {{{_init_list(_BLOB)}}};
+int descr[{len(_DESCR)}] = {{{_init_list(_DESCR)}}};
+int skip[{ALPHABET}];
+
+int search(int pat_off, int pat_len) {{
+    int text_len = {len(_TEXT)};
+    for (int c = 0; c < {ALPHABET}; c = c + 1) {{
+        skip[c] = pat_len;
+    }}
+    for (int k = 0; k < pat_len - 1; k = k + 1) bound(16) {{
+        skip[patterns[pat_off + k]] = pat_len - 1 - k;
+    }}
+    int pos = 0;
+    while (pos <= text_len - pat_len) bound({len(_TEXT)}) {{
+        int k = pat_len - 1;
+        while (k >= 0 && text[pos + k] == patterns[pat_off + k]) bound(16) {{
+            k = k - 1;
+        }}
+        if (k < 0) {{ return pos; }}
+        pos = pos + skip[text[pos + pat_len - 1]];
+    }}
+    return 0 - 1;
+}}
+
+void main() {{
+    int npatterns = {len(PATTERNS)};
+    for (int p = 0; p < npatterns; p = p + 1) {{
+        out(search(descr[p * 2], descr[p * 2 + 1]));
+    }}
+}}
+"""
+
+EXPECTED = search_reference()

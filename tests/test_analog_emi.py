@@ -1,0 +1,198 @@
+"""Analog monitor and EMI-channel tests."""
+
+import math
+
+import pytest
+
+from repro.analog import ADCMonitor, ComparatorMonitor, MonitorEvent, make_monitor
+from repro.emi import (
+    AttackSchedule,
+    DEVICES,
+    DPIPath,
+    EMISource,
+    RemotePath,
+    SusceptibilityCurve,
+    device,
+    device_names,
+    induced_waveform_sample,
+)
+
+
+class TestADCMonitor:
+    def test_quantisation_resolution(self):
+        monitor = ADCMonitor(bits=10, v_ref=3.6)
+        value = monitor.quantise(1.80001)
+        assert abs(value - 1.8) < 3.6 / 1023
+
+    def test_no_attack_no_event_when_healthy(self):
+        monitor = ADCMonitor()
+        event = monitor.sample(3.3, 0.0, 0.0, 0.0, powered=True)
+        assert event is MonitorEvent.NONE
+
+    def test_genuine_low_voltage_triggers_checkpoint(self):
+        monitor = ADCMonitor()
+        event = monitor.sample(2.4, 0.0, 0.0, 0.0, powered=True)
+        assert event is MonitorEvent.CHECKPOINT
+
+    def test_genuine_recovery_triggers_wake(self):
+        monitor = ADCMonitor()
+        event = monitor.sample(3.1, 0.0, 0.0, 0.0, powered=False)
+        assert event is MonitorEvent.WAKE
+
+    def test_emi_induces_false_checkpoint_sometimes(self):
+        monitor = ADCMonitor()
+        events = [
+            monitor.sample(3.3, 2.0, 27e6, t * 1e-5, powered=True)
+            for t in range(200)
+        ]
+        assert MonitorEvent.CHECKPOINT in events
+        assert MonitorEvent.NONE in events  # sampled sine: not every time
+
+    def test_emi_spoofs_wake_at_low_voltage(self):
+        monitor = ADCMonitor()
+        events = [
+            monitor.sample(2.4, 2.0, 27e6, t * 1e-5, powered=False)
+            for t in range(200)
+        ]
+        assert MonitorEvent.WAKE in events
+
+    def test_not_continuous(self):
+        assert not ADCMonitor().continuous
+
+
+class TestComparatorMonitor:
+    def test_swing_trips_immediately(self):
+        monitor = ComparatorMonitor()
+        event = monitor.sample(3.3, 1.0, 5e6, 0.0, powered=True)
+        assert event is MonitorEvent.CHECKPOINT
+
+    def test_small_swing_within_hysteresis_ignored(self):
+        monitor = ComparatorMonitor()
+        event = monitor.sample(3.3, 0.02, 5e6, 0.0, powered=True)
+        assert event is MonitorEvent.NONE
+
+    def test_continuous_flag(self):
+        assert ComparatorMonitor().continuous
+
+    def test_factory(self):
+        assert isinstance(make_monitor("adc", 2.6, 3.0), ADCMonitor)
+        assert isinstance(make_monitor("comp", 2.6, 3.0), ComparatorMonitor)
+        with pytest.raises(ValueError):
+            make_monitor("dual", 2.6, 3.0)
+
+
+class TestWaveform:
+    def test_deterministic(self):
+        a = induced_waveform_sample(1.0, 27e6, 0.001, 5)
+        b = induced_waveform_sample(1.0, 27e6, 0.001, 5)
+        assert a == b
+
+    def test_amplitude_bound(self):
+        for index in range(50):
+            sample = induced_waveform_sample(1.5, 27e6, 0.0, index)
+            assert -1.5 <= sample <= 1.5
+
+    def test_zero_amplitude(self):
+        assert induced_waveform_sample(0.0, 27e6, 0.0, 1) == 0.0
+
+
+class TestSusceptibility:
+    def test_peak_at_resonance(self):
+        curve = SusceptibilityCurve(resonances=((27e6, 2.0, 2e6),))
+        assert curve.gain(27e6) > curve.gain(40e6)
+        assert curve.gain(27e6) > curve.gain(15e6)
+
+    def test_rolloff_suppresses_high_frequencies(self):
+        curve = SusceptibilityCurve(resonances=((200e6, 5.0, 2e6),))
+        assert curve.gain(200e6) < 5.0 * 0.2
+
+    def test_induced_amplitude_scales_with_sqrt_power(self):
+        curve = SusceptibilityCurve(resonances=((27e6, 2.0, 2e6),))
+        one = curve.induced_amplitude(27e6, 1.0)
+        four = curve.induced_amplitude(27e6, 4.0)
+        assert four == pytest.approx(2 * one)
+
+    def test_peak_frequency(self):
+        curve = SusceptibilityCurve(
+            resonances=((10e6, 1.0, 1e6), (27e6, 3.0, 1e6))
+        )
+        assert curve.peak_frequency() == 27e6
+
+
+class TestDevices:
+    def test_nine_platforms(self):
+        assert len(device_names()) == 9
+
+    def test_all_have_paper_reference(self):
+        for name in device_names():
+            assert device(name).paper is not None
+
+    def test_comparator_boards(self):
+        fr5994 = device("TI-MSP430FR5994")
+        assert "comp" in fr5994.monitors
+        assert fr5994.comp_curve is not None
+        fr2311 = device("TI-MSP430FR2311")
+        with pytest.raises(KeyError):
+            fr2311.curve_for("comp")
+
+    def test_msp430_family_resonates_near_27mhz(self):
+        for name in device_names():
+            if "MSP430F" in name and name != "TI-MSP430F5529":
+                peak = device(name).adc_curve.peak_frequency()
+                assert 20e6 <= peak <= 35e6, name
+
+    def test_stm32_resonates_lower(self):
+        peak = device("STM32L552ZE").adc_curve.peak_frequency()
+        assert 15e6 <= peak <= 20e6
+
+
+class TestPropagation:
+    def test_remote_path_loss_with_distance(self):
+        source = EMISource(27e6, 35)
+        near = RemotePath(distance_m=1.0).received_power_w(source)
+        far = RemotePath(distance_m=5.0).received_power_w(source)
+        assert near > far
+
+    def test_walls_attenuate(self):
+        source = EMISource(27e6, 35)
+        open_air = RemotePath(distance_m=5.0, walls=0).received_power_w(source)
+        one_wall = RemotePath(distance_m=5.0, walls=1).received_power_w(source)
+        assert one_wall == pytest.approx(open_air * 10 ** -0.6)
+
+    def test_dpi_points(self):
+        source = EMISource(27e6, 20)
+        p1 = DPIPath("P1").received_power_w(source)
+        p2 = DPIPath("P2").received_power_w(source)
+        assert p2 > p1
+        with pytest.raises(ValueError):
+            DPIPath("P3")
+
+    def test_dpi_flat_in_frequency(self):
+        a = DPIPath("P2").received_power_w(EMISource(5e6, 20))
+        b = DPIPath("P2").received_power_w(EMISource(500e6, 20))
+        assert a == b
+
+
+class TestAttackSchedule:
+    def test_always(self):
+        schedule = AttackSchedule.always(EMISource(27e6, 35))
+        assert schedule.source_at(0.0) is not None
+        assert schedule.source_at(1e6) is not None
+
+    def test_silent(self):
+        schedule = AttackSchedule.silent()
+        assert schedule.source_at(0.0) is None
+        assert not schedule.ever_active
+
+    def test_windows(self):
+        schedule = AttackSchedule.from_intervals(
+            [(1.0, 2.0), (3.0, 4.0)], EMISource(27e6, 35)
+        )
+        assert schedule.source_at(0.5) is None
+        assert schedule.source_at(1.5) is not None
+        assert schedule.source_at(2.5) is None
+        assert schedule.source_at(3.5) is not None
+
+    def test_source_str(self):
+        assert str(EMISource(27e6, 35)) == "27MHz@35dBm"
+        assert "GHz" in str(EMISource(2.4e9, 10))

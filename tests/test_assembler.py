@@ -1,0 +1,110 @@
+"""Round-trip and error tests for the textual assembler."""
+
+import pytest
+
+from repro.errors import AsmError
+from repro.isa import (
+    Imm,
+    Opcode,
+    PReg,
+    Sym,
+    link,
+    parse_instr,
+    parse_operand,
+    parse_program,
+)
+
+PROGRAM_TEXT = """
+.data
+    counter 1
+    table 8 = 1, 2, 3, -4
+.func main
+loop:
+    ld R4, [@counter + #0]
+    add R4, R4, #1
+    st R4, [@counter + #0]
+    slt R5, R4, #10
+    bnz R5, .loop
+    out R4
+    ckpt R4, slot=4, color=1
+    mark region=3
+    halt
+.func helper
+    sense R6
+    shr R6, R6, #2
+    ret
+"""
+
+
+class TestParseOperand:
+    def test_physical_register(self):
+        assert parse_operand("R7") == PReg(7)
+
+    def test_immediate(self):
+        assert parse_operand("#-42") == Imm(-42)
+
+    def test_hex_immediate(self):
+        assert parse_operand("#0xFF") == Imm(255)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AsmError):
+            parse_operand("banana")
+
+
+class TestParseInstr:
+    def test_memory_operands(self):
+        instr = parse_instr("ld R4, [@arr + R5]")
+        assert instr.op is Opcode.LD
+        assert instr.sym == Sym("arr")
+        assert instr.off == PReg(5)
+
+    def test_ckpt_fields(self):
+        instr = parse_instr("ckpt R4, slot=4, color=0")
+        assert instr.reg_index == 4
+        assert instr.color == 0
+
+    def test_mark_region(self):
+        assert parse_instr("mark region=9").region == 9
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError):
+            parse_instr("frobnicate R1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AsmError):
+            parse_instr("add R1, R2")
+
+    def test_li_requires_immediate(self):
+        with pytest.raises(AsmError):
+            parse_instr("li R4, R5")
+
+
+class TestRoundTrip:
+    def test_parse_then_print_then_parse(self):
+        program = parse_program(PROGRAM_TEXT)
+        reparsed = parse_program(str(program))
+        assert str(program) == str(reparsed)
+
+    def test_parsed_program_links(self):
+        program = parse_program(PROGRAM_TEXT)
+        linked = link(program)
+        assert linked.count_opcode(Opcode.CKPT) == 1
+        assert "helper" in linked.func_entry
+
+    def test_data_initialisers(self):
+        program = parse_program(PROGRAM_TEXT)
+        assert program.init["table"] == [1, 2, 3, -4]
+
+    def test_comments_are_stripped(self):
+        text = ".data\n counter 1 ; a counter\n.func main\n halt ; done\n"
+        program = parse_program(text)
+        assert program.functions["main"].body[0].op is Opcode.HALT
+
+    def test_duplicate_label_rejected(self):
+        text = ".func main\nx:\nx:\n    halt\n"
+        with pytest.raises(AsmError):
+            parse_program(text)
+
+    def test_statement_outside_section(self):
+        with pytest.raises(AsmError):
+            parse_program("halt\n")

@@ -1,0 +1,80 @@
+"""Property-based assembler round-trip (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    Imm,
+    Instr,
+    Label,
+    Opcode,
+    PReg,
+    Sym,
+    parse_instr,
+)
+from repro.isa.instructions import BINOPS, UNOPS
+
+regs = st.integers(0, 15).map(PReg)
+imms = st.integers(-(2**31), 2**31 - 1).map(Imm)
+operands = st.one_of(regs, imms)
+symbols = st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True).map(Sym)
+labels = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).map(Label)
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(sorted(
+        BINOPS | UNOPS
+        | {Opcode.LI, Opcode.LD, Opcode.ST, Opcode.BNZ, Opcode.JMP,
+           Opcode.CALL, Opcode.RET, Opcode.HALT, Opcode.OUT, Opcode.SENSE,
+           Opcode.CKPT, Opcode.MARK, Opcode.NOP},
+        key=lambda o: o.value,
+    )))
+    if op is Opcode.LI:
+        return Instr(op, dst=draw(regs), a=draw(imms))
+    if op in UNOPS:
+        return Instr(op, dst=draw(regs), a=draw(regs))
+    if op in BINOPS:
+        return Instr(op, dst=draw(regs), a=draw(regs), b=draw(operands))
+    if op is Opcode.LD:
+        return Instr(op, dst=draw(regs), sym=draw(symbols),
+                     off=draw(operands))
+    if op is Opcode.ST:
+        return Instr(op, a=draw(regs), sym=draw(symbols), off=draw(operands))
+    if op is Opcode.BNZ:
+        return Instr(op, a=draw(regs), target=draw(labels))
+    if op is Opcode.JMP:
+        return Instr(op, target=draw(labels))
+    if op is Opcode.CALL:
+        return Instr(op, callee=draw(st.from_regex(r"[a-z][a-z0-9_]{0,8}",
+                                                   fullmatch=True)))
+    if op is Opcode.OUT:
+        return Instr(op, a=draw(regs))
+    if op is Opcode.SENSE:
+        return Instr(op, dst=draw(regs))
+    if op is Opcode.CKPT:
+        return Instr(op, a=draw(regs), reg_index=draw(st.integers(0, 15)),
+                     color=draw(st.sampled_from([0, 1])))
+    if op is Opcode.MARK:
+        return Instr(op, region=draw(st.integers(0, 10_000)))
+    return Instr(op)
+
+
+def _key(instr: Instr):
+    return (instr.op, instr.dst, instr.a, instr.b, instr.sym, instr.off,
+            instr.target, instr.callee, instr.reg_index, instr.color,
+            instr.region)
+
+
+@settings(max_examples=300, deadline=None)
+@given(instr=instructions())
+def test_print_parse_roundtrip(instr):
+    reparsed = parse_instr(str(instr))
+    assert _key(reparsed) == _key(instr)
+
+
+@settings(max_examples=150, deadline=None)
+@given(instr=instructions())
+def test_use_def_disjoint_from_immediates(instr):
+    for reg in instr.defs() + instr.uses():
+        assert isinstance(reg, PReg)
+    assert instr.cycles > 0

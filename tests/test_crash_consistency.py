@@ -1,0 +1,149 @@
+"""Invariant 1: crash consistency under arbitrary power-failure points.
+
+For every workload x scheme x crash period: force a power failure every N
+cycles (with the scheme's own protocol — JIT checkpoint for NVP/GECKO-JIT,
+nothing but the region commits for rollback) and require the committed
+output to equal the failure-free golden run, bit for bit.
+
+This is the test that killed every unsound shortcut during development;
+keep it brutal.
+"""
+
+import pytest
+
+from repro.core import compile_scheme
+from repro.runtime import (
+    GeckoRuntime,
+    Machine,
+    NVPRuntime,
+    RollbackRuntime,
+    run_to_completion,
+)
+from repro.workloads import WORKLOAD_NAMES, source
+
+#: Budget used for the gecko compiles: crash periods must exceed it so
+#: rollback recovery can always cross a region between failures.
+BUDGET = 1500
+
+#: Workloads exercised exhaustively (the full set runs in the nightly-ish
+#: parametrization below; these cover every compiler feature class).
+CORE_WORKLOADS = ["blink", "crc16", "dijkstra", "qsort", "fft", "dhrystone"]
+
+
+def crash_run(compiled, scheme: str, period: int, rollback_mode: bool,
+              max_crashes: int = 200_000):
+    machine = Machine(compiled.linked)
+    if scheme == "nvp":
+        runtime = NVPRuntime()
+    elif scheme == "ratchet":
+        runtime = RollbackRuntime(compiled.linked)
+    else:
+        runtime = GeckoRuntime(compiled.linked)
+    runtime.on_reboot(machine)
+    if rollback_mode:
+        machine.write_word("__mode", 0, 1)
+    since = 0
+    crashes = 0
+    while not machine.halted:
+        since += machine.step()
+        if since >= period and not machine.halted:
+            since = 0
+            crashes += 1
+            if crashes > max_crashes:
+                raise RuntimeError("livelock: no forward progress")
+            if scheme == "nvp" or (scheme == "gecko" and not rollback_mode):
+                runtime.on_checkpoint_signal(machine, 1e9)
+            machine.power_off()
+            runtime.on_reboot(machine)
+            if rollback_mode:
+                machine.write_word("__mode", 0, 1)
+    return machine.committed_out, crashes
+
+
+def compile_for(name: str, scheme: str):
+    if scheme.startswith("gecko"):
+        return compile_scheme(source(name), "gecko", region_budget=BUDGET)
+    return compile_scheme(source(name), scheme)
+
+
+CONFIGS = [
+    ("nvp", False, (97, 1733)),
+    ("ratchet", False, (4001,)),
+    ("gecko-jit", False, (4001,)),
+    ("gecko-rollback", True, (4001, 9973)),
+]
+
+
+@pytest.mark.parametrize("name", CORE_WORKLOADS)
+@pytest.mark.parametrize("scheme,rollback,periods", CONFIGS)
+def test_outputs_survive_crashes(name, scheme, rollback, periods):
+    base_scheme = scheme.split("-")[0]
+    compiled = compile_for(name, base_scheme)
+    golden = run_to_completion(compiled.linked).committed_out
+    for index, period in enumerate(periods):
+        out, crashes = crash_run(compiled, base_scheme, period, rollback)
+        if index == 0:
+            assert crashes > 0, "crash schedule never fired — test is vacuous"
+        assert out == golden, (
+            f"{name}/{scheme} period={period}: output diverged after "
+            f"{crashes} crashes"
+        )
+
+
+@pytest.mark.parametrize("name", [n for n in WORKLOAD_NAMES
+                                  if n not in CORE_WORKLOADS])
+def test_remaining_workloads_gecko_rollback(name):
+    """Every other workload at least survives pure rollback crashes."""
+    compiled = compile_for(name, "gecko")
+    golden = run_to_completion(compiled.linked).committed_out
+    out, crashes = crash_run(compiled, "gecko", 4001, rollback_mode=True)
+    assert crashes > 0
+    assert out == golden
+
+
+def test_crash_at_every_boundary_gecko():
+    """Crash precisely after every MARK commit of one run (worst case)."""
+    from repro.isa import Opcode
+    compiled = compile_for("crc16", "gecko")
+    golden = run_to_completion(compiled.linked).committed_out
+    runtime = GeckoRuntime(compiled.linked)
+    machine = Machine(compiled.linked)
+    runtime.on_reboot(machine)
+    machine.write_word("__mode", 0, 1)
+    crashes = 0
+    crashed_after = set()
+    while not machine.halted:
+        was_mark = compiled.linked.instrs[machine.pc].op is Opcode.MARK
+        pc = machine.pc
+        machine.step()
+        if was_mark and pc not in crashed_after and not machine.halted:
+            crashed_after.add(pc)
+            crashes += 1
+            machine.power_off()
+            runtime.on_reboot(machine)
+            machine.write_word("__mode", 0, 1)
+    assert crashes >= compiled.region_count // 2
+    assert machine.committed_out == golden
+
+
+def test_double_crash_during_recovery():
+    """A failure immediately after recovery must still recover correctly."""
+    compiled = compile_for("dijkstra", "gecko")
+    golden = run_to_completion(compiled.linked).committed_out
+    runtime = GeckoRuntime(compiled.linked)
+    machine = Machine(compiled.linked)
+    runtime.on_reboot(machine)
+    machine.write_word("__mode", 0, 1)
+    since = 0
+    while not machine.halted:
+        since += machine.step()
+        if since >= 3001 and not machine.halted:
+            since = 0
+            machine.power_off()
+            runtime.on_reboot(machine)
+            machine.write_word("__mode", 0, 1)
+            # Second, immediate failure before a single instruction runs.
+            machine.power_off()
+            runtime.on_reboot(machine)
+            machine.write_word("__mode", 0, 1)
+    assert machine.committed_out == golden

@@ -1,0 +1,176 @@
+"""Energy substrate tests: capacitor, harvesters, power system."""
+
+import math
+
+import pytest
+
+from repro.energy import (
+    Capacitor,
+    ConstantSupply,
+    MCUPowerModel,
+    PowerSystem,
+    RFHarvester,
+    SquareWaveHarvester,
+    TraceHarvester,
+    dbm_to_watts,
+    friis_received_power,
+    synthetic_rf_trace,
+    watts_to_dbm,
+)
+
+
+class TestCapacitor:
+    def test_starts_full(self):
+        cap = Capacitor(1e-3, v_max=3.3)
+        assert math.isclose(cap.voltage, 3.3, rel_tol=1e-9)
+
+    def test_energy_voltage_relation(self):
+        cap = Capacitor(1e-3)
+        cap.reset(2.0)
+        assert math.isclose(cap.energy, 0.5 * 1e-3 * 4.0, rel_tol=1e-9)
+
+    def test_discharge_clamps_at_zero(self):
+        cap = Capacitor(1e-6)
+        drawn = cap.discharge(1.0)
+        assert drawn == pytest.approx(cap.energy_at(3.3))
+        assert cap.voltage == 0.0
+
+    def test_charge_tapers_near_ceiling(self):
+        cap = Capacitor(1e-3, v_max=3.3)
+        cap.reset(1.0)
+        low = cap.charge(1e-3, 0.01)
+        cap.reset(3.25)
+        high = cap.charge(1e-3, 0.01)
+        assert high < low
+
+    def test_charge_never_exceeds_ceiling(self):
+        cap = Capacitor(1e-6, v_max=3.3)
+        cap.reset(3.2)
+        cap.charge(10.0, 1.0)
+        assert cap.voltage <= 3.3 + 1e-9
+
+    def test_usable_energy(self):
+        cap = Capacitor(1e-3)
+        cap.reset(3.0)
+        usable = cap.usable_energy(2.0)
+        assert usable == pytest.approx(0.5e-3 * (9 - 4))
+
+    def test_leakage_scales_with_capacitance(self):
+        small = Capacitor(1e-3)
+        big = Capacitor(10e-3)
+        assert big.leakage_power_w > small.leakage_power_w * 5
+
+    def test_leak_drains(self):
+        cap = Capacitor(1e-3)
+        before = cap.energy
+        lost = cap.leak(1.0)
+        assert lost > 0
+        assert cap.energy == pytest.approx(before - lost)
+
+    def test_invalid_capacitance(self):
+        with pytest.raises(ValueError):
+            Capacitor(0.0)
+
+    def test_time_to_charge_monotone_in_power(self):
+        cap = Capacitor(1e-4)
+        fast = cap.time_to_charge(2.0, 3.0, 10e-3)
+        slow = cap.time_to_charge(2.0, 3.0, 1e-3)
+        assert fast < slow
+
+    def test_time_to_charge_unreachable(self):
+        cap = Capacitor(1e-3)
+        assert cap.time_to_charge(2.0, 3.0, 0.0) == math.inf
+
+
+class TestHarvesters:
+    def test_dbm_conversions(self):
+        assert dbm_to_watts(30) == pytest.approx(1.0)
+        assert watts_to_dbm(1.0) == pytest.approx(30.0)
+        assert watts_to_dbm(0.0) == float("-inf")
+
+    def test_friis_decays_with_distance(self):
+        near = friis_received_power(1.0, 915e6, 1.0)
+        far = friis_received_power(1.0, 915e6, 2.0)
+        assert near == pytest.approx(4 * far)
+
+    def test_square_wave_duty(self):
+        harvester = SquareWaveHarvester(on_power_w=1e-3, period_s=1.0, duty=0.25)
+        assert harvester.power_at(0.1) == 1e-3
+        assert harvester.power_at(0.5) == 0.0
+        assert harvester.power_at(1.1) == 1e-3  # periodic
+
+    def test_rf_harvester_power_reasonable(self):
+        harvester = RFHarvester(distance_m=0.6)
+        power = harvester.power_at(0.0)
+        assert 1e-4 < power < 1.0  # mW-to-sub-watt regime
+
+    def test_trace_harvester_replays_and_loops(self):
+        harvester = TraceHarvester(samples_w=[1.0, 2.0], sample_period_s=0.1)
+        assert harvester.power_at(0.05) == 1.0
+        assert harvester.power_at(0.15) == 2.0
+        assert harvester.power_at(0.25) == 1.0
+
+    def test_trace_harvester_non_looping_ends(self):
+        harvester = TraceHarvester(samples_w=[1.0], sample_period_s=0.1,
+                                   loop=False)
+        assert harvester.power_at(5.0) == 0.0
+
+    def test_synthetic_trace_deterministic(self):
+        assert synthetic_rf_trace(seed=3) == synthetic_rf_trace(seed=3)
+        assert synthetic_rf_trace(seed=3) != synthetic_rf_trace(seed=4)
+
+
+class TestPowerSystem:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PowerSystem(v_on=2.0, v_backup=2.5, v_off=1.8)
+
+    def test_consume_cycles_drains(self):
+        power = PowerSystem()
+        v0 = power.voltage
+        power.consume_cycles(1_000_000)
+        assert power.voltage < v0
+
+    def test_guaranteed_cycles_positive_and_restores_state(self):
+        power = PowerSystem()
+        before = power.capacitor.energy
+        guaranteed = power.guaranteed_cycles()
+        assert guaranteed > 0
+        assert power.capacitor.energy == before
+
+    def test_checkpoint_budget_shrinks_toward_v_off(self):
+        power = PowerSystem()
+        power.capacitor.reset(power.v_backup)
+        at_backup = power.checkpoint_budget_cycles()
+        power.capacitor.reset(power.v_off + 0.05)
+        deep = power.checkpoint_budget_cycles()
+        assert at_backup > deep > 0
+        power.capacitor.reset(power.v_off)
+        assert power.checkpoint_budget_cycles() == 0.0
+
+    def test_backup_budget_covers_benign_checkpoint(self):
+        """The reserve is sized so a checkpoint at v_backup always fits."""
+        from repro.runtime.nvp import NVPRuntime, _ST
+        power = PowerSystem()
+        power.capacitor.reset(power.v_backup)
+        need = NVPRuntime.checkpoint_size_words(buffer_len=4) * _ST
+        assert power.checkpoint_budget_cycles() >= need
+
+    def test_fail_window(self):
+        power = PowerSystem()
+        power.capacitor.reset((power.v_off + power.v_backup) / 2)
+        assert power.in_fail_window
+        power.capacitor.reset(power.v_on)
+        assert not power.in_fail_window
+
+    def test_mcu_energy_per_cycle(self):
+        mcu = MCUPowerModel(clock_hz=8e6, active_power_w=2.2e-3)
+        assert mcu.energy_per_cycle == pytest.approx(2.75e-10)
+        assert mcu.cycles_to_seconds(8e6) == pytest.approx(1.0)
+
+    def test_harvest_applies_leakage(self):
+        power = PowerSystem(capacitor=Capacitor(10e-3),
+                            harvester=ConstantSupply(0.0))
+        before = power.capacitor.energy
+        power.harvest(0.0, 1.0)
+        assert power.capacitor.energy < before

@@ -1,0 +1,46 @@
+"""Fast smoke tests for the heavier eval harnesses."""
+
+import pytest
+
+from repro.eval import (
+    CAPACITOR_SIZES_F,
+    DEFAULT_SEGMENTS,
+    figure14,
+    figure15,
+    realtime_control,
+    run_scenario,
+)
+
+
+def test_realtime_segments_cover_the_window():
+    segments = realtime_control(total_s=0.06)
+    assert len(segments) == len(DEFAULT_SEGMENTS)
+    assert segments[0].start_s == 0.0
+    for previous, current in zip(segments, segments[1:]):
+        assert current.start_s == pytest.approx(previous.end_s)
+    # Quiet segments run at full speed.
+    quiet = [s for s in segments if s.freq_mhz is None]
+    assert all(s.progress_rate > 0.8 for s in quiet)
+
+
+def test_figure14_single_fast_workload():
+    rows = figure14(workloads=["blink"], duration_s=0.12,
+                    schemes=("nvp", "gecko"))
+    row = rows[0]
+    assert row.completions["nvp"] > 0
+    assert row.completions["gecko"] > 0
+    assert row.normalized_slowdown("gecko") < 2.0
+
+
+def test_figure15_two_sizes():
+    points = figure15(workload="crc32", sizes=(1e-3, 10e-3),
+                      target_completions=150, max_sim_s=6.0)
+    times = {(p.scheme, p.capacitance_f): p.total_time_s for p in points}
+    assert times[("nvp", 10e-3)] >= times[("nvp", 1e-3)]
+
+
+def test_scenario_quiet_baseline():
+    run = run_scenario("a-none", "nvp", total_s=0.12)
+    assert run.result.completions > 0
+    assert run.result.attacks_detected == 0
+    assert run.timeline  # record_timeline is on

@@ -1,0 +1,138 @@
+"""End-to-end integration: the paper's attack-and-defend storyline.
+
+One test per headline claim, each driving the full stack (compiler ->
+machine -> energy -> monitor -> EMI channel -> runtime).
+"""
+
+import pytest
+
+from repro import compile_gecko, compile_nvp, simulate_program
+from repro.emi import AttackSchedule, EMISource, RemotePath, device
+from repro.energy import Capacitor, PowerSystem, SquareWaveHarvester
+from repro.runtime import SimConfig, check_outputs, run_to_completion
+from repro.workloads import expected_output, source
+
+FR5994 = device("TI-MSP430FR5994")
+RESONANCE = FR5994.adc_curve.peak_frequency()
+
+
+def attack_always(freq=RESONANCE, dbm=35.0):
+    return AttackSchedule.always(EMISource(freq, dbm))
+
+
+class TestClaimAttackWorks:
+    """§IV: EMI on the voltage monitor causes DoS and data corruption."""
+
+    def test_dos_at_resonance(self):
+        program = compile_nvp(source("blink"))
+        benign = simulate_program(program, duration_s=0.04)
+        attacked = simulate_program(program, duration_s=0.04,
+                                    attack=attack_always())
+        assert attacked.executed_cycles < benign.executed_cycles * 0.2
+        assert attacked.completions < benign.completions * 0.3
+
+    def test_checkpoint_failures_in_fail_window(self):
+        program = compile_nvp(source("blink"))
+        power = PowerSystem(
+            capacitor=Capacitor(4.7e-6),
+            harvester=SquareWaveHarvester(on_power_w=5e-3, period_s=0.16,
+                                          duty=0.4),
+        )
+        result = simulate_program(
+            program, duration_s=0.5, power=power, attack=attack_always(),
+            config=SimConfig(quantum=64, sleep_min_s=1e-3),
+        )
+        assert result.jit_checkpoint_failures > 0
+        assert result.checkpoint_failure_rate > 0.02
+
+    def test_benign_environment_never_fails_checkpoints(self):
+        program = compile_nvp(source("blink"))
+        power = PowerSystem(
+            capacitor=Capacitor(4.7e-6),
+            harvester=SquareWaveHarvester(on_power_w=5e-3, period_s=0.16,
+                                          duty=0.4),
+        )
+        result = simulate_program(
+            program, duration_s=0.5, power=power,
+            config=SimConfig(quantum=64, sleep_min_s=1e-3),
+        )
+        assert result.jit_checkpoint_failures == 0
+        assert check_outputs(result, expected_output("blink")).clean
+
+    def test_corruption_surfaces_after_failed_checkpoints(self):
+        """Restoring a partially-overwritten image corrupts execution."""
+        program = compile_nvp(source("blink"))
+        power = PowerSystem(
+            capacitor=Capacitor(4.7e-6),
+            harvester=SquareWaveHarvester(on_power_w=5e-3, period_s=0.16,
+                                          duty=0.4),
+        )
+        result = simulate_program(
+            program, duration_s=0.6, power=power, attack=attack_always(),
+            config=SimConfig(quantum=64, sleep_min_s=1e-3),
+        )
+        corrupted_output = not check_outputs(
+            result, expected_output("blink")
+        ).clean
+        bricked = result.machine_fault is not None
+        failed = result.jit_checkpoint_failures > 0
+        assert failed and (corrupted_output or bricked or
+                           result.completions == 0)
+
+
+class TestClaimGeckoDefends:
+    """§VI/§VII: GECKO detects the attack, closes the surface, survives."""
+
+    def test_detection_and_service_under_attack(self):
+        # The paper's §VII-B3 setting: a harvesting supply with genuine
+        # outages, plus the sustained resonant tone.
+        program = compile_gecko(source("blink"), region_budget=20_000)
+
+        def power():
+            return PowerSystem(
+                capacitor=Capacitor(22e-6),
+                harvester=SquareWaveHarvester(on_power_w=8e-3,
+                                              period_s=0.02, duty=0.5),
+            )
+
+        config = SimConfig(quantum=64, sleep_min_s=1e-3)
+        benign = simulate_program(program, duration_s=0.1, power=power(),
+                                  config=config)
+        attacked = simulate_program(program, duration_s=0.1, power=power(),
+                                    attack=attack_always(), config=config)
+        assert attacked.attacks_detected >= 1
+        assert attacked.completions > benign.completions * 0.3
+
+    def test_no_corruption_under_attack(self):
+        program = compile_gecko(source("crc16"), region_budget=20_000)
+        power = PowerSystem(
+            capacitor=Capacitor(4.7e-6),
+            harvester=SquareWaveHarvester(on_power_w=5e-3, period_s=0.16,
+                                          duty=0.4),
+        )
+        result = simulate_program(
+            program, duration_s=0.6, power=power, attack=attack_always(),
+            config=SimConfig(quantum=64, sleep_min_s=1e-3),
+        )
+        assert check_outputs(result, expected_output("crc16")).clean
+        assert result.completions > 0
+
+    def test_back_to_normal_after_attack_ends(self):
+        program = compile_gecko(source("blink"), region_budget=20_000)
+        schedule = AttackSchedule.from_intervals(
+            [(0.0, 0.03)], EMISource(RESONANCE, 35)
+        )
+        power = PowerSystem(
+            capacitor=Capacitor(22e-6),
+            harvester=SquareWaveHarvester(on_power_w=8e-3, period_s=0.02,
+                                          duty=0.5),
+        )
+        result = simulate_program(
+            program, duration_s=0.12, power=power, attack=schedule,
+            config=SimConfig(quantum=64, sleep_min_s=1e-3),
+        )
+        # After the attack window, reboots happen in JIT mode again:
+        # detections stopped increasing and progress resumed fully.
+        assert result.attacks_detected >= 1
+        assert result.completions > 0
+        assert result.jit_checkpoints > 0  # JIT was re-enabled and used

@@ -1,0 +1,244 @@
+"""Unit tests for the instruction set, operands, program container, linker."""
+
+import pytest
+
+from repro.errors import AsmError
+from repro.isa import (
+    Imm,
+    Instr,
+    Label,
+    MachineFunction,
+    MachineProgram,
+    Opcode,
+    PReg,
+    Sym,
+    VReg,
+    binop,
+    bnz,
+    ckpt,
+    halt,
+    jmp,
+    li,
+    link,
+    load,
+    mark,
+    mov,
+    out,
+    ret,
+    store,
+    wrap32,
+)
+from repro.isa.operands import trunc_div, trunc_rem
+from repro.isa.program import RUNTIME_SYMBOLS
+
+
+class TestWrap32:
+    def test_positive_passthrough(self):
+        assert wrap32(12345) == 12345
+
+    def test_negative_passthrough(self):
+        assert wrap32(-12345) == -12345
+
+    def test_overflow_wraps_negative(self):
+        assert wrap32(2**31) == -(2**31)
+
+    def test_underflow_wraps_positive(self):
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+
+    def test_mask_is_32_bits(self):
+        assert wrap32(2**32 + 7) == 7
+
+    def test_max_int(self):
+        assert wrap32(2**31 - 1) == 2**31 - 1
+
+
+class TestTruncDiv:
+    @pytest.mark.parametrize("a,b,q,r", [
+        (7, 2, 3, 1),
+        (-7, 2, -3, -1),
+        (7, -2, -3, 1),
+        (-7, -2, 3, -1),
+        (0, 5, 0, 0),
+    ])
+    def test_c_semantics(self, a, b, q, r):
+        assert trunc_div(a, b) == q
+        assert trunc_rem(a, b) == r
+
+
+class TestOperands:
+    def test_preg_range_check(self):
+        with pytest.raises(ValueError):
+            PReg(16)
+        with pytest.raises(ValueError):
+            PReg(-1)
+
+    def test_operand_reprs(self):
+        assert repr(VReg(3)) == "v3"
+        assert repr(PReg(4)) == "R4"
+        assert repr(Imm(-5)) == "#-5"
+        assert repr(Sym("arr")) == "@arr"
+        assert repr(Label("loop")) == ".loop"
+
+    def test_operands_hashable(self):
+        assert len({PReg(1), PReg(1), PReg(2)}) == 2
+
+
+class TestInstr:
+    def test_binop_defs_and_uses(self):
+        instr = binop(Opcode.ADD, PReg(4), PReg(5), PReg(6))
+        assert instr.defs() == [PReg(4)]
+        assert instr.uses() == [PReg(5), PReg(6)]
+
+    def test_store_has_no_defs(self):
+        instr = store(PReg(4), Sym("x"), Imm(0))
+        assert instr.defs() == []
+        assert instr.uses() == [PReg(4)]
+
+    def test_load_with_register_offset_uses_it(self):
+        instr = load(PReg(4), Sym("arr"), PReg(5))
+        assert PReg(5) in instr.uses()
+
+    def test_replace_regs(self):
+        instr = binop(Opcode.ADD, VReg(0), VReg(1), Imm(2))
+        rewritten = instr.replace_regs({VReg(0): PReg(4), VReg(1): PReg(5)})
+        assert rewritten.dst == PReg(4)
+        assert rewritten.a == PReg(5)
+        assert rewritten.b == Imm(2)
+
+    def test_replace_regs_rejects_imm_destination(self):
+        instr = mov(VReg(0), VReg(1))
+        with pytest.raises(ValueError):
+            instr.replace_regs({VReg(0): Imm(1)})
+
+    def test_binop_helper_rejects_non_alu(self):
+        with pytest.raises(ValueError):
+            binop(Opcode.LD, PReg(4), PReg(5), PReg(6))
+
+    def test_ckpt_color_validation(self):
+        with pytest.raises(ValueError):
+            ckpt(PReg(4), reg_index=4, color=2)
+        assert ckpt(PReg(4), reg_index=4, color=None).color is None
+
+    def test_per_reg_checkpoint_costs_more(self):
+        plain = ckpt(PReg(4), reg_index=4, color=0)
+        dynamic = ckpt(PReg(4), reg_index=4, color=None)
+        dynamic.meta["per_reg"] = True
+        assert dynamic.cycles > plain.cycles
+
+    def test_copy_duplicates_meta(self):
+        instr = mark(3)
+        instr.meta["plan"] = "x"
+        clone = instr.copy()
+        clone.meta["plan"] = "y"
+        assert instr.meta["plan"] == "x"
+
+    def test_str_forms(self):
+        assert str(li(PReg(4), 7)) == "li R4, #7"
+        assert "ld R4, [@arr + #0]" == str(load(PReg(4), Sym("arr"), Imm(0)))
+        assert "mark region=2" == str(mark(2))
+
+
+def _tiny_program():
+    program = MachineProgram()
+    program.add_data("counter", 1)
+    main = MachineFunction("main")
+    main.body = [
+        li(PReg(4), 1),
+        store(PReg(4), Sym("counter"), Imm(0)),
+        halt(),
+    ]
+    program.add_function(main)
+    return program
+
+
+class TestLinker:
+    def test_links_and_lays_out(self):
+        linked = link(_tiny_program())
+        assert linked.entry_pc == 0
+        base, size = linked.symtab["counter"]
+        assert size == 1
+        runtime_words = sum(s for _, s in RUNTIME_SYMBOLS)
+        assert base >= runtime_words
+
+    def test_runtime_symbols_present(self):
+        linked = link(_tiny_program())
+        for name, size in RUNTIME_SYMBOLS:
+            assert linked.symtab[name][1] == size
+
+    def test_missing_entry_rejected(self):
+        program = MachineProgram(entry="nope")
+        with pytest.raises(AsmError):
+            link(program)
+
+    def test_undefined_callee_rejected(self):
+        program = _tiny_program()
+        program.functions["main"].body.insert(0, Instr(Opcode.CALL, callee="ghost"))
+        with pytest.raises(AsmError):
+            link(program)
+
+    def test_undefined_symbol_rejected(self):
+        program = _tiny_program()
+        program.functions["main"].body.insert(0, load(PReg(4), Sym("ghost"), Imm(0)))
+        with pytest.raises(AsmError):
+            link(program)
+
+    def test_undefined_label_rejected(self):
+        program = _tiny_program()
+        program.functions["main"].body.insert(0, jmp(Label("ghost")))
+        with pytest.raises(AsmError):
+            link(program)
+
+    def test_branch_targets_resolved(self):
+        program = _tiny_program()
+        main = program.functions["main"]
+        main.labels["top"] = 0
+        main.body.insert(2, bnz(PReg(4), Label("top")))
+        linked = link(program)
+        bnz_index = next(
+            i for i, ins in enumerate(linked.instrs) if ins.op is Opcode.BNZ
+        )
+        assert linked.targets[bnz_index] == 0
+
+    def test_call_gets_return_slot(self):
+        program = _tiny_program()
+        helper = MachineFunction("helper")
+        helper.body = [ret()]
+        program.add_function(helper)
+        program.functions["main"].body.insert(0, Instr(Opcode.CALL, callee="helper"))
+        linked = link(program)
+        assert "helper" in linked.ret_slot
+        assert linked.targets[linked.func_entry["main"]] == linked.func_entry["helper"]
+
+    def test_duplicate_data_rejected(self):
+        program = _tiny_program()
+        with pytest.raises(AsmError):
+            program.add_data("counter", 1)
+
+    def test_virtual_register_rejected_at_validate(self):
+        function = MachineFunction("main")
+        function.body = [mov(VReg(0), VReg(1)), halt()]
+        with pytest.raises(AsmError):
+            function.validate()
+
+    def test_count_opcode(self):
+        linked = link(_tiny_program())
+        assert linked.count_opcode(Opcode.HALT) == 1
+        assert linked.count_opcode(Opcode.MARK) == 0
+
+    def test_init_words_applied(self):
+        program = _tiny_program()
+        program.add_data("table", 4, init=[9, 8, 7])
+        linked = link(program)
+        base, _ = linked.symtab["table"]
+        assert linked.init_words[base:base + 4] == [9, 8, 7, 0]
+
+    def test_addr_of_bounds(self):
+        linked = link(_tiny_program())
+        with pytest.raises(AsmError):
+            linked.addr_of("counter", 5)
+
+
+class TestOut:
+    def test_out_is_io(self):
+        assert out(PReg(4)).is_io
+        assert not li(PReg(4), 0).is_io

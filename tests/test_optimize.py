@@ -1,0 +1,182 @@
+"""Optimizer pass tests: constants, algebra, branches, dead code."""
+
+import pytest
+
+from repro.compiler import allocate_module, lower_module
+from repro.compiler.optimize import optimize_function, optimize_module
+from repro.core import compile_nvp
+from repro.isa import Opcode, link
+from repro.lang import compile_source
+from repro.runtime import run_to_completion
+from repro.workloads import WORKLOAD_NAMES, expected_output, source
+
+
+def optimized_main(src: str):
+    module = compile_source(src)
+    stats = optimize_function(module.functions["main"])
+    return module.functions["main"], stats
+
+
+def instr_count(fn, op=None):
+    return sum(
+        1 for _, _, i in fn.instructions() if op is None or i.op is op
+    )
+
+
+def run(src: str, optimize=True):
+    return run_to_completion(
+        compile_nvp(src, optimize=optimize).linked
+    ).committed_out
+
+
+class TestConstantPropagation:
+    def test_chain_folds_to_li(self):
+        # MiniC lowering folds literal expressions itself, so force the
+        # chain through variables the lowering keeps in registers.
+        fn, stats = optimized_main("""
+        void main() {
+            int a = 6;
+            int b = a * 7;
+            int c = b + a;
+            out(c);
+        }
+        """)
+        assert stats["folded"] + stats["dead"] > 0
+        # Everything but the final LI/OUT/HALT should fold away.
+        assert instr_count(fn, Opcode.MUL) == 0
+        assert instr_count(fn, Opcode.ADD) == 0
+
+    def test_multi_def_register_not_folded(self):
+        fn, _ = optimized_main("""
+        void main() {
+            int a = 1;
+            if (sense() > 100) { a = 2; }
+            out(a + 3);
+        }
+        """)
+        # `a` has two defs with different values: the add must survive.
+        assert instr_count(fn, Opcode.ADD) >= 1
+
+    def test_division_by_zero_preserved(self):
+        fn, _ = optimized_main("""
+        void main() {
+            int z = 0;
+            out(7 / z);
+        }
+        """)
+        assert instr_count(fn, Opcode.DIV) == 1
+        from repro.errors import MachineFault
+        program = compile_nvp("""
+        void main() { int z = 0; out(7 / z); }
+        """)
+        from repro.runtime import Machine
+        with pytest.raises(MachineFault):
+            Machine(program.linked).run()
+
+
+class TestAlgebra:
+    @pytest.mark.parametrize("expr,expected", [
+        ("x + 0", 41), ("x * 1", 41), ("x * 0", 0), ("x & 0", 0),
+        ("x ^ 0", 41), ("x >> 0", 41), ("x % 1", 0),
+    ])
+    def test_identities_fold_and_stay_correct(self, expr, expected):
+        src = f"void main() {{ int x = sense() * 0 + 41; out({expr}); }}"
+        assert run(src) == [expected]
+
+    def test_mul_by_zero_becomes_li(self):
+        fn, stats = optimized_main(
+            "void main() { int x = sense(); out(x * 0); }"
+        )
+        assert instr_count(fn, Opcode.MUL) == 0
+
+
+class TestBranchFolding:
+    def test_constant_true_branch(self):
+        fn, stats = optimized_main("""
+        void main() {
+            int flag = 1;
+            if (flag) { out(10); } else { out(20); }
+        }
+        """)
+        assert stats["branches"] >= 1
+        assert instr_count(fn, Opcode.BNZ) == 0
+        # The dead arm's block disappeared with remove_unreachable.
+        assert instr_count(fn, Opcode.OUT) == 1
+
+    def test_constant_false_branch(self):
+        fn, _ = optimized_main("""
+        void main() {
+            int flag = 0;
+            if (flag) { out(10); } else { out(20); }
+        }
+        """)
+        assert instr_count(fn, Opcode.OUT) == 1
+        module = compile_source("""
+        void main() {
+            int flag = 0;
+            if (flag) { out(10); } else { out(20); }
+        }
+        """)
+        assert run("""
+        void main() {
+            int flag = 0;
+            if (flag) { out(10); } else { out(20); }
+        }
+        """) == [20]
+
+
+class TestDeadCode:
+    def test_unused_values_removed(self):
+        fn, stats = optimized_main("""
+        void main() {
+            int unused = 123 + sense() * 0;
+            int another = unused * 5;
+            out(7);
+        }
+        """)
+        assert stats["dead"] > 0
+        assert instr_count(fn, Opcode.MUL) == 0
+
+    def test_side_effects_survive(self):
+        fn, _ = optimized_main("""
+        int g;
+        void main() {
+            g = 5;          // store: must survive
+            int x = sense();  // sensor read: must survive
+            out(1);
+        }
+        """)
+        assert instr_count(fn, Opcode.ST) >= 1
+        assert instr_count(fn, Opcode.SENSE) == 1
+
+    def test_dead_load_removed(self):
+        fn, stats = optimized_main("""
+        int g = 9;
+        void main() {
+            int x = g;     // loaded, never used
+            out(3);
+        }
+        """)
+        assert instr_count(fn, Opcode.LD) == 0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_optimized_workloads_still_correct(self, name):
+        program = compile_nvp(source(name), optimize=True)
+        machine = run_to_completion(program.linked)
+        assert machine.committed_out == expected_output(name)
+
+    def test_optimization_never_grows_code(self):
+        for name in ("dijkstra", "qsort", "fir"):
+            plain = compile_nvp(source(name), optimize=False)
+            optimized = compile_nvp(source(name), optimize=True)
+            assert optimized.stats.code_size <= plain.stats.code_size
+
+    def test_optimizer_is_idempotent(self):
+        module = compile_source(source("crc16"))
+        optimize_module(module)
+        snapshot = str(module)
+        stats = optimize_module(module)
+        assert str(module) == snapshot
+        assert all(sum(s.values()) == 0 for s in stats.values())

@@ -1,0 +1,65 @@
+"""Restore-plan data-structure tests (repro.core.plans)."""
+
+from repro.core.plans import RegionPlan, SliceExec, SlotLoad, slot_symbol
+from repro.isa import Imm, Opcode, PReg, Sym
+from repro.isa.instructions import Instr
+
+
+def make_slice(n: int) -> SliceExec:
+    instrs = [Instr(Opcode.LI, dst=PReg(4), a=Imm(i)) for i in range(n)]
+    return SliceExec(target=4, instrs=instrs)
+
+
+class TestSlotLoad:
+    def test_cycles_is_one_load(self):
+        from repro.isa.instructions import CYCLES
+        assert SlotLoad(reg_index=4, color=0).cycles == CYCLES[Opcode.LD]
+
+    def test_dynamic_and_per_reg_flags(self):
+        dynamic = SlotLoad(reg_index=4, color=None)
+        per_reg = SlotLoad(reg_index=4, color=None, per_reg=True)
+        assert dynamic.color is None and not dynamic.per_reg
+        assert per_reg.per_reg
+
+    def test_hashable(self):
+        assert len({SlotLoad(4, 0), SlotLoad(4, 0), SlotLoad(4, 1)}) == 2
+
+
+class TestSliceExec:
+    def test_len_and_cycles(self):
+        action = make_slice(3)
+        assert len(action) == 3
+        assert action.cycles == 3 * Instr(Opcode.LI, dst=PReg(4),
+                                          a=Imm(0)).cycles
+
+    def test_mixed_instruction_costs(self):
+        load = Instr(Opcode.LD, dst=PReg(5), sym=Sym("__ckpt0"), off=Imm(5))
+        action = SliceExec(target=5, instrs=[load])
+        assert action.cycles == load.cycles
+
+
+class TestRegionPlan:
+    def test_recovery_cycles_sums_actions(self):
+        plan = RegionPlan(region=3)
+        plan.restores[4] = SlotLoad(reg_index=4, color=0)
+        plan.restores[5] = make_slice(2)
+        assert plan.recovery_cycles == \
+            plan.restores[4].cycles + plan.restores[5].cycles
+
+    def test_slice_counters(self):
+        plan = RegionPlan(region=1)
+        plan.restores[4] = SlotLoad(reg_index=4, color=0)
+        plan.restores[5] = make_slice(2)
+        plan.restores[6] = make_slice(3)
+        assert plan.slice_count == 2
+        assert plan.slice_instr_count == 5
+
+    def test_empty_plan(self):
+        plan = RegionPlan(region=9)
+        assert plan.recovery_cycles == 0
+        assert plan.slice_count == 0
+
+
+def test_slot_symbol():
+    assert slot_symbol(0) == "__ckpt0"
+    assert slot_symbol(1) == "__ckpt1"

@@ -1,0 +1,113 @@
+"""Tracer tests: recording, queries, rendering, simulator integration."""
+
+import pytest
+
+from repro import compile_gecko, compile_nvp
+from repro.emi import AttackSchedule, EMISource, device
+from repro.energy import Capacitor, PowerSystem, SquareWaveHarvester
+from repro.runtime import (
+    IntermittentSimulator,
+    Machine,
+    SimConfig,
+    Tracer,
+    runtime_for,
+)
+
+SRC = """
+void main() {
+    int s = 0;
+    for (int i = 0; i < 40; i = i + 1) { s = s + i * i; }
+    out(s);
+}
+"""
+
+
+class TestTracerUnit:
+    def test_sample_rate_limiting(self):
+        tracer = Tracer(sample_period_s=0.01)
+        for i in range(100):
+            tracer.sample(i * 0.001, 3.0, "running")
+        assert len(tracer.samples) <= 11
+
+    def test_event_queries(self):
+        tracer = Tracer()
+        tracer.event(0.1, "reboot")
+        tracer.event(0.2, "checkpoint")
+        tracer.event(0.3, "reboot")
+        assert tracer.count("reboot") == 2
+        assert tracer.events_of("checkpoint")[0].t == 0.2
+        assert tracer.count("nothing") == 0
+
+    def test_voltage_at(self):
+        tracer = Tracer(sample_period_s=0.0)
+        tracer.sample(0.0, 3.3, "running")
+        tracer.sample(1.0, 2.5, "sleeping")
+        assert tracer.voltage_at(0.5) == 3.3
+        assert tracer.voltage_at(1.5) == 2.5
+        assert tracer.voltage_at(-1.0) is None
+
+    def test_state_occupancy(self):
+        tracer = Tracer(sample_period_s=0.0)
+        tracer.sample(0.0, 3.0, "running")
+        tracer.sample(0.1, 3.0, "running")
+        tracer.sample(0.2, 3.0, "off")
+        occupancy = tracer.state_occupancy()
+        assert occupancy["running"] == pytest.approx(2 / 3)
+        assert occupancy["off"] == pytest.approx(1 / 3)
+
+    def test_render_empty_and_full(self):
+        tracer = Tracer()
+        assert "no samples" in tracer.render()
+        tracer.sample(0.0, 3.3, "running")
+        tracer.event(0.0, "reboot")
+        chart = tracer.render(width=40, thresholds=[2.6])
+        assert "*" in chart
+        assert "^" in chart
+        assert "-" in chart  # threshold line
+
+    def test_max_samples_cap(self):
+        tracer = Tracer(sample_period_s=0.0, max_samples=10)
+        for i in range(100):
+            tracer.sample(i * 0.001, 3.0, "running")
+        assert len(tracer.samples) == 10
+
+
+class TestTracerIntegration:
+    def _sim(self, program, attack=None, tracer=None):
+        power = PowerSystem(
+            capacitor=Capacitor(22e-6),
+            harvester=SquareWaveHarvester(on_power_w=6e-3, period_s=0.02,
+                                          duty=0.4),
+        )
+        return IntermittentSimulator(
+            machine=Machine(program.linked),
+            runtime=runtime_for(program),
+            power=power,
+            attack=attack,
+            config=SimConfig(quantum=64, sleep_min_s=1e-3),
+            tracer=tracer,
+        )
+
+    def test_benign_run_records_duty_cycle(self):
+        tracer = Tracer(sample_period_s=2e-4)
+        sim = self._sim(compile_nvp(SRC), tracer=tracer)
+        result = sim.run(0.15)
+        assert tracer.count("completion") == result.completions
+        assert tracer.count("reboot") == result.reboots
+        occupancy = tracer.state_occupancy()
+        assert occupancy.get("running", 0) > 0.2
+        # The square-wave outages force non-running time too.
+        assert occupancy.get("running", 1.0) < 1.0
+        chart = tracer.render(thresholds=[2.6, 3.0])
+        assert "o" in chart or "C" in chart
+
+    def test_detection_event_traced(self):
+        tracer = Tracer(sample_period_s=2e-4)
+        program = compile_gecko(SRC, region_budget=20_000)
+        freq = device("TI-MSP430FR5994").adc_curve.peak_frequency()
+        sim = self._sim(program,
+                        attack=AttackSchedule.always(EMISource(freq, 35)),
+                        tracer=tracer)
+        result = sim.run(0.15)
+        assert tracer.count("detection") == result.attacks_detected
+        assert result.attacks_detected >= 1

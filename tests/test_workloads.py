@@ -1,0 +1,81 @@
+"""Workload sanity: references, compileability, and static expectations."""
+
+import pytest
+
+from repro.core import compile_scheme
+from repro.runtime import run_to_completion
+from repro.workloads import (
+    FAST_WORKLOADS,
+    WORKLOAD_NAMES,
+    all_sources,
+    expected_output,
+    reference_output,
+    source,
+)
+
+
+def test_eleven_workloads_like_the_paper():
+    assert len(WORKLOAD_NAMES) == 11
+    assert set(FAST_WORKLOADS) <= set(WORKLOAD_NAMES)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        source("doom")
+
+
+def test_all_sources_mapping():
+    sources = all_sources()
+    assert set(sources) == set(WORKLOAD_NAMES)
+    assert all(isinstance(text, str) and "main" in text
+               for text in sources.values())
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_nvp_run_matches_expected(name):
+    machine = run_to_completion(compile_scheme(source(name), "nvp").linked)
+    assert machine.committed_out == expected_output(name)
+    assert machine.committed_out, f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", ["crc16", "crc32", "dijkstra", "fft",
+                                  "fir", "qsort", "stringsearch"])
+def test_python_reference_exists(name):
+    assert reference_output(name) is not None
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("scheme", ["ratchet", "gecko"])
+def test_instrumented_runs_agree(name, scheme):
+    compiled = compile_scheme(source(name), scheme)
+    machine = run_to_completion(compiled.linked)
+    assert machine.committed_out == expected_output(name)
+
+
+def test_specific_references():
+    # Spot checks against independently known values.
+    import zlib
+    from repro.workloads.crc32 import MESSAGE, crc32_reference
+    assert crc32_reference(MESSAGE) == zlib.crc32(bytes(MESSAGE))
+    from repro.workloads.qsort import DATA, qsort_reference
+    assert qsort_reference()[:len(DATA)] == sorted(DATA)
+    from repro.workloads.dijkstra import dijkstra_reference
+    dist = dijkstra_reference()
+    assert dist[0] == 0 and all(d >= 0 for d in dist)
+    from repro.workloads.stringsearch import PATTERNS, TEXT, search_reference
+    for pattern, offset in zip(PATTERNS, search_reference()):
+        if offset >= 0:
+            assert TEXT[offset:offset + len(pattern)] == pattern
+        else:
+            assert pattern not in TEXT
+
+
+def test_gecko_static_metrics_in_range():
+    """Tab. III-style expectations: tens of checkpoints, small blocks."""
+    total_ckpts = 0
+    for name in WORKLOAD_NAMES:
+        program = compile_scheme(source(name), "gecko")
+        total_ckpts += program.checkpoint_stores
+        assert program.region_count >= 1
+        assert program.stats.avg_recovery_block_len <= 8.5
+    assert 50 <= total_ckpts <= 2000
