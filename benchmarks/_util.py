@@ -2,26 +2,40 @@
 
 Every benchmark regenerates one of the paper's tables or figures, prints
 the rows it produces, and saves them under ``benchmarks/results/`` so the
-output survives pytest's capture.  Experiments are run exactly once via
-``benchmark.pedantic`` — they are full-system simulations, not microbenches.
+output survives pytest's capture.  Each result is written twice: the
+formatted ``<name>.txt`` for humans, and a machine-readable ``<name>.json``
+twin so benchmark outputs are diffable artifacts instead of formatted
+strings.  Experiments are run exactly once via ``benchmark.pedantic`` —
+they are full-system simulations, not microbenches.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable, Iterable, List
+from typing import Callable, Iterable, List, Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def emit(name: str, lines: Iterable[str]) -> None:
-    """Print a result table and persist it to benchmarks/results/<name>.txt."""
+def emit(name: str, lines: Iterable[str], data: Optional[object] = None) -> None:
+    """Print a result table and persist it to benchmarks/results/.
+
+    Writes ``<name>.txt`` (the formatted lines) and ``<name>.json`` (the
+    structured ``data`` payload when given, else the raw lines).
+    """
+    lines = list(lines)
     text = "\n".join(lines)
     print(f"\n=== {name} ===")
     print(text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    payload = {"name": name,
+               "data": data if data is not None else {"lines": lines}}
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def run_once(benchmark, fn: Callable):

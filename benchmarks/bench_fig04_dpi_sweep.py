@@ -37,7 +37,17 @@ def test_fig04_dpi_sweep(benchmark):
                  f"@ {rows['P1'].min_rate_freq_mhz:.0f} MHz")
     lines.append(f"P2 min rate: {fmt_pct(rows['P2'].min_rate)} "
                  f"@ {rows['P2'].min_rate_freq_mhz:.0f} MHz")
-    emit("fig04_dpi_sweep", lines)
+    emit("fig04_dpi_sweep", lines, data={
+        "points": [
+            {"freq_mhz": p1.freq_mhz,
+             "p1_rate": p1.progress_rate, "p2_rate": p2.progress_rate}
+            for p1, p2 in zip(rows["P1"].points, rows["P2"].points)
+        ],
+        "p1_min_rate": rows["P1"].min_rate,
+        "p1_min_rate_freq_mhz": rows["P1"].min_rate_freq_mhz,
+        "p2_min_rate": rows["P2"].min_rate,
+        "p2_min_rate_freq_mhz": rows["P2"].min_rate_freq_mhz,
+    })
 
     # Shape checks from the paper: P2 couples harder than P1; the resonance
     # bites; high frequencies are harmless.

@@ -35,7 +35,15 @@ def test_fig08_distance(benchmark):
     lines.append("")
     lines.append(f"effective attack range @35dBm: {reach35:.1f} m")
     lines.append(f"effective attack range @10dBm: {reach10:.1f} m")
-    emit("fig08_distance", lines)
+    emit("fig08_distance", lines, data={
+        "points": [
+            {"distance_m": p.distance_m, "tx_dbm": p.tx_dbm,
+             "progress_rate": p.progress_rate, "walls": p.walls}
+            for p in points
+        ],
+        "reach_m_at_35dbm": reach35,
+        "reach_m_at_10dbm": reach10,
+    })
 
     # The paper's relationships: 35 dBm reaches at least 5 m (even through
     # a wall), range shrinks with power, and low power barely reaches.

@@ -45,7 +45,23 @@ def test_fig13_detection(benchmark):
             f"  final={row.final_state}"
         )
     lines.append("  paper: NVP ~0%, Ratchet ~0% (DoS), GECKO ~41%")
-    emit("fig13_detection", lines)
+    emit("fig13_detection", lines, data={
+        "runs": [
+            {"scenario": run.scenario, "scheme": run.scheme,
+             "timeline": [list(entry) for entry in run.result.timeline],
+             "completions": run.result.completions,
+             "detections": run.result.attacks_detected}
+            for run in runs
+        ],
+        "sustained": [
+            {"scheme": row.scheme, "completions": row.completions,
+             "baseline_completions": row.baseline_completions,
+             "relative": row.relative,
+             "attacks_detected": row.attacks_detected,
+             "final_state": row.final_state}
+            for row in summary
+        ],
+    })
 
     by = {row.scheme: row for row in summary}
     # GECKO sustains service under attack; NVP and Ratchet collapse.

@@ -26,7 +26,13 @@ def test_fig15_capacitor(benchmark):
     lines.append("")
     lines.append("paper: time rises with capacitance; NVP ~= GECKO; "
                  "1 mF is optimal")
-    emit("fig15_capacitor", lines)
+    emit("fig15_capacitor", lines, data={
+        "points": [
+            {"capacitance_f": p.capacitance_f, "scheme": p.scheme,
+             "total_time_s": p.total_time_s, "completions": p.completions}
+            for p in points
+        ],
+    })
 
     for scheme in ("nvp", "gecko"):
         series = sorted(

@@ -10,7 +10,10 @@ Installed as ``repro-gecko`` (see pyproject) and runnable as
 * ``run      <prog>``       — execute on stable power, print the output;
 * ``simulate <prog>``       — intermittent simulation with a chosen
   harvester, optional EMI attack, and an optional ASCII trace;
-* ``sweep``                 — frequency-sweep one device/monitor pair.
+* ``sweep``                 — frequency-sweep one device/monitor pair;
+* ``campaign <prog>``       — declarative sweep campaign over frequency
+  (and optionally distance) with ``--workers`` parallelism, compile
+  caching and baseline dedup; ``--json`` saves the full CampaignResult.
 
 ``<prog>`` is either a bundled workload name or a path to a MiniC file.
 """
@@ -199,6 +202,90 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_axis(text: str) -> List[float]:
+    """Parse an axis spec: ``start:stop:step`` or ``v1,v2,...``."""
+    try:
+        if ":" in text:
+            start_t, stop_t, step_t = text.split(":")
+            start, stop, step = float(start_t), float(stop_t), float(step_t)
+            if step <= 0:
+                raise ValueError
+            values = []
+            value = start
+            while value <= stop + 1e-9:
+                values.append(value)
+                value += step
+            return values
+        values = [float(part) for part in text.split(",") if part.strip()]
+        if not values:
+            raise ValueError
+        return values
+    except ValueError:
+        raise SystemExit(
+            f"error: bad axis spec {text!r} (want START:STOP:STEP or "
+            f"V1,V2,...)"
+        )
+
+
+def cmd_campaign(args) -> int:
+    from .eval import fmt_pct
+    from .eval.campaign import (
+        AttackSpec,
+        CampaignRunner,
+        ExperimentSpec,
+        PathSpec,
+    )
+    from .eval.common import VictimConfig
+
+    if args.program in WORKLOAD_NAMES:
+        victim = VictimConfig(workload=args.program)
+    else:
+        victim = VictimConfig(workload=os.path.basename(args.program),
+                              workload_source=_load_source(args.program))
+    victim = victim.with_overrides(
+        device_name=args.device, monitor_kind=args.monitor,
+        scheme=args.scheme, duration_s=args.duration,
+        region_budget=args.budget,
+    )
+    sweep = {"attack.freq_mhz": _parse_axis(args.freqs)}
+    if args.distances:
+        sweep["path.distance_m"] = _parse_axis(args.distances)
+    spec = ExperimentSpec(
+        name=f"cli:{args.program}:{args.scheme}",
+        victim=victim,
+        attack=AttackSpec.tone(tx_dbm=args.dbm),
+        path=PathSpec.remote(distance_m=args.distance),
+        sweep=sweep,
+    )
+    campaign = CampaignRunner(workers=args.workers).run(spec)
+
+    for outcome in campaign.outcomes:
+        label = "  ".join(
+            f"{axis.split('.')[-1]}={value:g}"
+            for axis, value in outcome.params.items()
+        )
+        if outcome.error:
+            print(f"{label:<28} FAILED: {outcome.error}")
+        else:
+            rate = outcome.progress_rate
+            bar = "#" * int(round((1 - rate) * 30))
+            print(f"{label:<28} R={fmt_pct(rate):>8}  {bar}")
+    stats = campaign.stats
+    print()
+    print(f"grid points:   {stats.grid_points}  "
+          f"(failures: {stats.failures})")
+    print(f"compiles:      {stats.compiles}  "
+          f"(cache hits: {stats.compile_cache_hits})")
+    print(f"baselines:     {stats.baseline_runs}  "
+          f"(deduplicated: {stats.baseline_cache_hits})")
+    print(f"workers:       {stats.workers}")
+    print(f"wall time:     {stats.wall_time_s:.2f} s")
+    if args.json:
+        campaign.save(args.json)
+        print(f"wrote {args.json}")
+    return 1 if stats.failures else 0
+
+
 # ----------------------------------------------------------------------
 # Parser.
 # ----------------------------------------------------------------------
@@ -252,6 +339,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stop", type=float, default=45)
     p.add_argument("--step", type=float, default=4)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("campaign",
+                       help="declarative sweep campaign (parallel)")
+    _add_program_args(p)
+    p.add_argument("--freqs", default="5:45:4", metavar="A:B:STEP|F1,F2,..",
+                   help="frequency axis in MHz")
+    p.add_argument("--distances", default=None, metavar="A:B:STEP|D1,D2,..",
+                   help="optional attacker-distance axis in meters")
+    p.add_argument("--dbm", type=float, default=35.0,
+                   help="attacker transmit power")
+    p.add_argument("--distance", type=float, default=5.0,
+                   help="attacker distance when no distance axis is given")
+    p.add_argument("--device", default="TI-MSP430FR5994",
+                   choices=device_names())
+    p.add_argument("--monitor", default="adc", choices=["adc", "comp"])
+    p.add_argument("--duration", type=float, default=0.03,
+                   help="simulated seconds per grid point")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the grid")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the CampaignResult JSON here")
+    p.set_defaults(func=cmd_campaign)
     return parser
 
 

@@ -1,5 +1,24 @@
-"""Experiment harnesses regenerating every table and figure of the paper."""
+"""Experiment harnesses regenerating every table and figure of the paper.
 
+Sweeps run through the declarative campaign engine
+(:mod:`repro.eval.campaign`): an :class:`ExperimentSpec` expands into a
+grid, a :class:`CampaignRunner` executes it (optionally across worker
+processes) with compile caching and baseline deduplication, and a
+:class:`CampaignResult` accounts for every run.
+"""
+
+from .campaign import (
+    AttackSpec,
+    CampaignError,
+    CampaignResult,
+    CampaignRunner,
+    CampaignStats,
+    ExperimentSpec,
+    PathSpec,
+    RunOutcome,
+    RunSpec,
+    run_campaign,
+)
 from .capacitor_sweep import CAPACITOR_SIZES_F, CapacitorPoint, figure15
 from .common import (
     VictimConfig,
@@ -14,6 +33,7 @@ from .detection import (
     AttackThroughput,
     DetectionRun,
     SCENARIOS,
+    detection_spec,
     figure13,
     run_scenario,
     throughput_under_attack,
@@ -36,14 +56,17 @@ from .realtime import DEFAULT_SEGMENTS, Segment, realtime_control
 from .sweeps import SweepPoint, SweepResult, TableOneRow, sweep_device, table_one
 
 __all__ = [
-    "AttackThroughput", "CAPACITOR_SIZES_F", "CapacitorPoint",
+    "AttackSpec", "AttackThroughput", "CAPACITOR_SIZES_F", "CampaignError",
+    "CampaignResult", "CampaignRunner", "CampaignStats", "CapacitorPoint",
     "CountermeasureEntry", "DEFAULT_SEGMENTS", "DetectionRun",
-    "DistancePoint", "HarvestingRow", "OverheadRow", "PruningRow",
+    "DistancePoint", "ExperimentSpec", "HarvestingRow", "OverheadRow",
+    "PathSpec", "PruningRow", "RunOutcome", "RunSpec",
     "SCENARIOS", "SCHEMES", "Segment", "StaticsRow", "SweepPoint",
     "SweepResult", "TABLE_II", "TableOneRow", "VictimConfig", "compile_all",
-    "distance_grid", "figure11", "figure12", "figure13", "figure14",
-    "figure15", "fmt_pct", "forward_progress", "frequency_sweep_mhz",
-    "gecko_is_unique", "geomean", "max_effective_distance", "realtime_control",
-    "remote_tone", "run_attack", "run_scenario", "sweep_device", "table2",
+    "detection_spec", "distance_grid", "figure11", "figure12", "figure13",
+    "figure14", "figure15", "fmt_pct", "forward_progress",
+    "frequency_sweep_mhz", "gecko_is_unique", "geomean",
+    "max_effective_distance", "realtime_control", "remote_tone",
+    "run_attack", "run_campaign", "run_scenario", "sweep_device", "table2",
     "table3", "table_one", "throughput_under_attack",
 ]

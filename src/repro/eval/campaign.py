@@ -1,0 +1,532 @@
+"""Declarative experiment campaigns: a sweep is data, not a for-loop.
+
+Every figure and table in the paper's evaluation (§IV, §VII) is a sweep —
+over frequency, distance, capacitance, scheme, or device.  This module
+turns those sweeps into values:
+
+* :class:`ExperimentSpec` — one victim + attack + path + sim config, plus
+  ``sweep`` axes that expand into the cartesian grid of runs;
+* :class:`CampaignRunner` — executes the grid, serially or across a
+  ``multiprocessing`` pool (specs are picklable; each worker builds its own
+  simulator), with a keyed compile cache (each (workload, scheme, budget)
+  compiles once per campaign) and baseline deduplication (the silent-attack
+  baseline for a victim runs once and is shared by every attacked point);
+* :class:`CampaignResult` — per-run results, rates, timings and failures,
+  serializable to JSON.
+
+A 41-point Fig. 4-style sweep therefore costs one compile, one baseline,
+and 41 attacked runs, instead of 41 of each::
+
+    spec = ExperimentSpec(
+        victim=VictimConfig(device_name="TI-MSP430FR5994", duration_s=0.03),
+        attack=AttackSpec.tone(tx_dbm=20.0),
+        path=PathSpec.dpi("P2"),
+        sweep={"attack.freq_mhz": frequency_sweep_mhz()},
+    )
+    campaign = CampaignRunner(workers=4).run(spec)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..emi import AttackSchedule, DPIPath, EMISource, RemotePath
+from ..errors import ReproError
+from ..runtime import IntermittentSimulator, Machine, SimResult, runtime_for
+from .common import REMOTE_DISTANCE_M, REMOTE_TX_DBM, VictimConfig
+
+
+class CampaignError(ReproError):
+    """An experiment spec that cannot be expanded or executed."""
+
+
+# ----------------------------------------------------------------------
+# Declarative attack / path descriptions (picklable, cache-keyable).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttackSpec:
+    """A tone described by data; the schedule is built per grid point.
+
+    ``freq_mhz=None`` resolves to the victim monitor's resonant peak at
+    build time (the paper's "most effective tone").  ``windows`` are
+    (start, end) fractions of the run window; ``None`` means a continuous
+    tone from t=0 and ``()`` means no transmission at all.
+    """
+
+    freq_mhz: Optional[float] = None
+    tx_dbm: float = REMOTE_TX_DBM
+    windows: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    @classmethod
+    def silent(cls) -> "AttackSpec":
+        return cls(windows=())
+
+    @classmethod
+    def tone(cls, freq_mhz: Optional[float] = None,
+             tx_dbm: float = REMOTE_TX_DBM) -> "AttackSpec":
+        return cls(freq_mhz=freq_mhz, tx_dbm=tx_dbm)
+
+    @classmethod
+    def bursts(cls, windows: Sequence[Tuple[float, float]],
+               freq_mhz: Optional[float] = None,
+               tx_dbm: float = REMOTE_TX_DBM) -> "AttackSpec":
+        return cls(freq_mhz=freq_mhz, tx_dbm=tx_dbm,
+                   windows=tuple(tuple(w) for w in windows))
+
+    def build(self, victim: VictimConfig, duration_s: float) -> AttackSchedule:
+        if self.windows == ():
+            return AttackSchedule.silent()
+        if self.freq_mhz is not None:
+            freq_hz = self.freq_mhz * 1e6
+        else:
+            curve = victim.profile().curve_for(victim.monitor_kind)
+            freq_hz = curve.peak_frequency()
+        source = EMISource(freq_hz, self.tx_dbm)
+        if self.windows is None:
+            return AttackSchedule.always(source)
+        schedule = AttackSchedule()
+        for start, end in self.windows:
+            schedule.add(start * duration_s, end * duration_s, source)
+        return schedule
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """Remote (over-the-air) or DPI (wired) coupling, as data."""
+
+    kind: str = "remote"               # "remote" | "dpi"
+    distance_m: float = REMOTE_DISTANCE_M
+    walls: int = 0
+    point: str = "P2"                  # DPI injection point
+
+    @classmethod
+    def remote(cls, distance_m: float = REMOTE_DISTANCE_M,
+               walls: int = 0) -> "PathSpec":
+        return cls(kind="remote", distance_m=distance_m, walls=walls)
+
+    @classmethod
+    def dpi(cls, point: str = "P2") -> "PathSpec":
+        return cls(kind="dpi", point=point)
+
+    def build(self):
+        if self.kind == "remote":
+            return RemotePath(distance_m=self.distance_m, walls=self.walls)
+        if self.kind == "dpi":
+            return DPIPath(point=self.point)
+        raise CampaignError(f"unknown path kind {self.kind!r}")
+
+
+def _build_attack(attack: Any, victim: VictimConfig,
+                  duration_s: float) -> AttackSchedule:
+    """Specs build per point; raw AttackSchedule objects pass through."""
+    if isinstance(attack, AttackSpec):
+        return attack.build(victim, duration_s)
+    return attack
+
+
+def _build_path(path: Any):
+    return path.build() if isinstance(path, PathSpec) else path
+
+
+def _key_of(obj: Any) -> Any:
+    """A hashable cache key for a spec or a raw schedule/path object."""
+    return obj if isinstance(obj, (AttackSpec, PathSpec)) else repr(obj)
+
+
+# ----------------------------------------------------------------------
+# Grid points.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-resolved grid point.  Picklable: workers build their own
+    simulator from it, so campaigns fan out across processes safely."""
+
+    victim: VictimConfig
+    attack: Any = field(default_factory=AttackSpec.silent)
+    path: Any = field(default_factory=PathSpec)
+    duration_s: Optional[float] = None
+    sim_overrides: Tuple[Tuple[str, Any], ...] = ()
+    mode: str = "fixed"                # "fixed" | "batch"
+    target_completions: int = 0        # batch mode: stop after this many
+    batch_window_s: float = 0.05       # batch mode: sim window per step
+    max_sim_s: float = 20.0            # batch mode: hard time stop
+
+    @property
+    def duration(self) -> float:
+        return self.duration_s if self.duration_s is not None \
+            else self.victim.duration_s
+
+    def compile_key(self) -> Tuple:
+        return self.victim.compile_key()
+
+    def baseline_key(self) -> Tuple:
+        """Everything the silent baseline depends on — not the attack."""
+        return (self.victim.cache_key(), _key_of(self.path), self.duration,
+                self.sim_overrides, self.mode, self.target_completions,
+                self.batch_window_s, self.max_sim_s)
+
+    def silenced(self) -> "RunSpec":
+        return replace(self, attack=AttackSpec.silent())
+
+
+def execute_run(run: RunSpec, compiled) -> SimResult:
+    """Build a fresh simulator for one grid point and run it."""
+    victim = run.victim
+    duration = run.duration
+    sim = IntermittentSimulator(
+        machine=Machine(compiled.linked),
+        runtime=runtime_for(compiled),
+        power=victim.power_system(),
+        attack=_build_attack(run.attack, victim, duration),
+        path=_build_path(run.path),
+        device_profile=victim.profile(),
+        monitor_kind=victim.monitor_kind,
+        config=victim.sim_config(**dict(run.sim_overrides)),
+    )
+    if run.mode == "batch":
+        return _run_batch(sim, run)
+    if run.mode != "fixed":
+        raise CampaignError(f"unknown run mode {run.mode!r}")
+    return sim.run(duration)
+
+
+def _run_batch(sim: IntermittentSimulator, run: RunSpec) -> SimResult:
+    """Fixed-batch mode (Fig. 15): simulate windows until the completion
+    target is met or ``max_sim_s`` of simulated time elapses."""
+    total = SimResult()
+    start_t = sim.t
+    while total.completions < run.target_completions \
+            and sim.t < run.max_sim_s:
+        window = sim.run(run.batch_window_s)
+        _merge_window(total, window)
+    total.duration_s = sim.t - start_t
+    return total
+
+
+def _merge_window(total: SimResult, window: SimResult) -> None:
+    total.executed_cycles += window.executed_cycles
+    total.overhead_cycles += window.overhead_cycles
+    total.completions += window.completions
+    total.reboots += window.reboots
+    total.brownouts += window.brownouts
+    total.completion_times.extend(window.completion_times)
+    total.committed_outputs.extend(window.committed_outputs)
+    total.timeline.extend(window.timeline)
+    # Runtime-stat fields are cumulative snapshots, not per-window deltas.
+    total.jit_checkpoints = window.jit_checkpoints
+    total.jit_checkpoint_failures = window.jit_checkpoint_failures
+    total.attacks_detected = window.attacks_detected
+    total.rollback_restores = window.rollback_restores
+    total.marks_committed = window.marks_committed
+    total.final_state = window.final_state
+    if window.machine_fault:
+        total.machine_fault = window.machine_fault
+
+
+# ----------------------------------------------------------------------
+# The spec.
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentSpec:
+    """A whole experiment as data: base point + sweep axes.
+
+    ``sweep`` maps axis targets to value lists; the grid is the cartesian
+    product in declaration order.  Axis targets:
+
+    * ``"victim"`` / ``"attack"`` / ``"path"`` — replace the whole object
+      (for coupled parameters, e.g. Fig. 15's threshold-matched victims);
+    * ``"victim.<field>"`` — :meth:`VictimConfig.with_overrides`;
+    * ``"attack.<field>"`` / ``"path.<field>"`` — spec field replacement;
+    * ``"sim.<field>"`` — a :class:`SimConfig` override;
+    * ``"duration_s"`` — the run window.
+
+    ``baseline=True`` runs the silent-attack baseline for every distinct
+    (victim, path, duration, sim config) and attaches forward-progress
+    rates to the outcomes; identical baselines are computed once.
+    """
+
+    name: str = "campaign"
+    victim: VictimConfig = field(default_factory=VictimConfig)
+    attack: Any = field(default_factory=AttackSpec.silent)
+    path: Any = field(default_factory=PathSpec)
+    duration_s: Optional[float] = None
+    sim_overrides: Mapping[str, Any] = field(default_factory=dict)
+    sweep: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    baseline: bool = True
+    mode: str = "fixed"
+    target_completions: int = 0
+    batch_window_s: float = 0.05
+    max_sim_s: float = 20.0
+
+    def expand(self) -> List[Tuple[Dict[str, Any], RunSpec]]:
+        """The (params, run) grid, in cartesian-product order."""
+        axes = list(self.sweep.items())
+        grid = []
+        for values in itertools.product(*(vals for _, vals in axes)):
+            params = dict(zip((target for target, _ in axes), values))
+            grid.append((params, self._resolve(params)))
+        return grid
+
+    def _resolve(self, params: Mapping[str, Any]) -> RunSpec:
+        victim, attack, path = self.victim, self.attack, self.path
+        duration = self.duration_s
+        overrides = dict(self.sim_overrides)
+        for target, value in params.items():
+            if target == "victim":
+                victim = value
+            elif target == "attack":
+                attack = value
+            elif target == "path":
+                path = value
+            elif target == "duration_s":
+                duration = value
+            elif target.startswith("victim."):
+                victim = victim.with_overrides(**{target[7:]: value})
+            elif target.startswith("attack."):
+                if not isinstance(attack, AttackSpec):
+                    raise CampaignError(
+                        f"axis {target!r} needs an AttackSpec base attack")
+                attack = replace(attack, **{target[7:]: value})
+            elif target.startswith("path."):
+                if not isinstance(path, PathSpec):
+                    raise CampaignError(
+                        f"axis {target!r} needs a PathSpec base path")
+                path = replace(path, **{target[5:]: value})
+            elif target.startswith("sim."):
+                overrides[target[4:]] = value
+            else:
+                raise CampaignError(f"unknown sweep axis {target!r}")
+        return RunSpec(
+            victim=victim, attack=attack, path=path, duration_s=duration,
+            sim_overrides=tuple(sorted(overrides.items())),
+            mode=self.mode, target_completions=self.target_completions,
+            batch_window_s=self.batch_window_s, max_sim_s=self.max_sim_s,
+        )
+
+
+# ----------------------------------------------------------------------
+# Results.
+# ----------------------------------------------------------------------
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+@dataclass
+class RunOutcome:
+    """One grid point's accounting: result, rate, timing, failure."""
+
+    index: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    result: Optional[SimResult] = None
+    baseline: Optional[SimResult] = None   # shared object across outcomes
+    progress_rate: Optional[float] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "params": _jsonable(self.params),
+            "progress_rate": self.progress_rate,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+            "result": self.result.to_dict() if self.result else None,
+        }
+
+
+@dataclass
+class CampaignStats:
+    """Cache effectiveness and cost accounting for one campaign."""
+
+    grid_points: int = 0
+    compiles: int = 0
+    compile_cache_hits: int = 0
+    baseline_runs: int = 0
+    baseline_cache_hits: int = 0
+    failures: int = 0
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, serializable to JSON."""
+
+    name: str
+    stats: CampaignStats = field(default_factory=CampaignStats)
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    baselines: List[RunOutcome] = field(default_factory=list)
+
+    def results(self) -> List[Optional[SimResult]]:
+        return [outcome.result for outcome in self.outcomes]
+
+    def rates(self) -> List[Optional[float]]:
+        return [outcome.progress_rate for outcome in self.outcomes]
+
+    def failures(self) -> List[RunOutcome]:
+        return [o for o in self.outcomes + self.baselines if o.error]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "stats": dataclasses.asdict(self.stats),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "baselines": [o.to_dict() for o in self.baselines],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+# ----------------------------------------------------------------------
+# Execution: serial fast path or a process pool.
+# ----------------------------------------------------------------------
+#: Per-worker compile cache, installed by the pool initializer (under the
+#: default ``fork`` start method the parent's dict is inherited for free).
+_WORKER_COMPILED: Dict[Tuple, Any] = {}
+
+
+def _init_worker(compiled: Dict[Tuple, Any]) -> None:
+    global _WORKER_COMPILED
+    _WORKER_COMPILED = compiled
+
+
+def _worker_task(task: Tuple[int, RunSpec]):
+    index, run = task
+    start = time.perf_counter()
+    try:
+        result = execute_run(run, _WORKER_COMPILED[run.compile_key()])
+        return index, result, None, time.perf_counter() - start
+    except Exception as exc:  # per-run failure accounting
+        error = f"{type(exc).__name__}: {exc}"
+        return index, None, error, time.perf_counter() - start
+
+
+class CampaignRunner:
+    """Executes :class:`ExperimentSpec` grids with compile caching,
+    baseline deduplication, and an optional worker pool.
+
+    The compile cache persists across :meth:`run` calls (and can be seeded
+    via ``compile_cache``), so multi-stage experiments — e.g. a rate sweep
+    followed by failure-rate reruns at the biting frequencies — reuse the
+    same compiled artifacts.
+    """
+
+    def __init__(self, workers: int = 1,
+                 compile_cache: Optional[Dict[Tuple, Any]] = None,
+                 reraise: bool = False) -> None:
+        self.workers = max(1, int(workers))
+        self.compile_cache: Dict[Tuple, Any] = \
+            compile_cache if compile_cache is not None else {}
+        self.reraise = reraise
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> CampaignResult:
+        start = time.perf_counter()
+        stats = CampaignStats(workers=self.workers)
+        grid = spec.expand()
+        if not grid:
+            raise CampaignError("spec expanded to an empty grid")
+        stats.grid_points = len(grid)
+
+        for _, run in grid:
+            key = run.compile_key()
+            if key in self.compile_cache:
+                stats.compile_cache_hits += 1
+            else:
+                self.compile_cache[key] = run.victim.compile()
+                stats.compiles += 1
+
+        # Baseline dedup: one silent run per distinct baseline key.
+        baseline_slot: Dict[Tuple, int] = {}
+        baseline_specs: List[RunSpec] = []
+        if spec.baseline:
+            for _, run in grid:
+                key = run.baseline_key()
+                if key in baseline_slot:
+                    stats.baseline_cache_hits += 1
+                else:
+                    baseline_slot[key] = len(baseline_specs)
+                    baseline_specs.append(run.silenced())
+                    stats.baseline_runs += 1
+
+        # Baselines and attacked points are independent simulations, so
+        # they share one task list (and one pool pass).
+        tasks = [(i, run) for i, run in enumerate(baseline_specs)]
+        offset = len(tasks)
+        tasks += [(offset + i, run) for i, (_, run) in enumerate(grid)]
+        raw = self._run_tasks(tasks)
+
+        baselines = [
+            RunOutcome(index=i, result=result, error=error, elapsed_s=dt)
+            for i, (_, result, error, dt) in enumerate(raw[:offset])
+        ]
+        outcomes: List[RunOutcome] = []
+        for i, ((params, run), (_, result, error, dt)) in \
+                enumerate(zip(grid, raw[offset:])):
+            outcome = RunOutcome(index=i, params=params, result=result,
+                                 error=error, elapsed_s=dt)
+            if spec.baseline and result is not None:
+                base = baselines[baseline_slot[run.baseline_key()]].result
+                outcome.baseline = base
+                if base is not None:
+                    outcome.progress_rate = (
+                        min(1.0, result.executed_cycles / base.executed_cycles)
+                        if base.executed_cycles > 0 else 0.0
+                    )
+            outcomes.append(outcome)
+        stats.failures = sum(1 for o in outcomes + baselines if o.error)
+        stats.wall_time_s = time.perf_counter() - start
+        return CampaignResult(name=spec.name, stats=stats,
+                              outcomes=outcomes, baselines=baselines)
+
+    # ------------------------------------------------------------------
+    def _run_tasks(self, tasks):
+        if self.workers <= 1 or len(tasks) <= 1:
+            return [self._run_inline(task) for task in tasks]
+        processes = min(self.workers, len(tasks))
+        with multiprocessing.Pool(processes=processes,
+                                  initializer=_init_worker,
+                                  initargs=(self.compile_cache,)) as pool:
+            return pool.map(_worker_task, tasks)
+
+    def _run_inline(self, task: Tuple[int, RunSpec]):
+        index, run = task
+        start = time.perf_counter()
+        compiled = self.compile_cache[run.compile_key()]
+        if self.reraise:
+            return index, execute_run(run, compiled), None, \
+                time.perf_counter() - start
+        try:
+            return index, execute_run(run, compiled), None, \
+                time.perf_counter() - start
+        except Exception as exc:  # per-run failure accounting
+            error = f"{type(exc).__name__}: {exc}"
+            return index, None, error, time.perf_counter() - start
+
+
+def run_campaign(spec: ExperimentSpec, workers: int = 1) -> CampaignResult:
+    """One-shot convenience: ``CampaignRunner(workers).run(spec)``."""
+    return CampaignRunner(workers=workers).run(spec)

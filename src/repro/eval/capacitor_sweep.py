@@ -10,13 +10,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from ..core import compile_scheme
-from ..energy import Capacitor, ConstantSupply, PowerSystem
-from ..errors import SimulationError
-from ..runtime import IntermittentSimulator, Machine, SimConfig, runtime_for
-from ..workloads import source
+from .campaign import AttackSpec, CampaignRunner, ExperimentSpec
+from .common import VictimConfig
 
 CAPACITOR_SIZES_F = (1e-3, 2e-3, 5e-3, 10e-3)
 
@@ -52,41 +49,47 @@ def figure15(workload: str = "crc32",
              target_completions: int = 800,
              harvest_power_w: float = 1.2e-3,
              leakage_a_per_f: float = 0.04,
-             max_sim_s: float = 20.0) -> List[CapacitorPoint]:
+             max_sim_s: float = 20.0,
+             workers: int = 1) -> List[CapacitorPoint]:
     """Total execution time for a fixed batch, across capacitor sizes.
 
     Harvested power sits below the active draw, so the device duty-cycles:
     run from ``v_on`` down to ``v_backup``, checkpoint, recharge.  The
     usable energy is equal across sizes (§VII-D), but self-discharge grows
     with capacitance, so big buffers charge slower and total time rises.
+
+    One batch-mode campaign: sizes and thresholds are coupled, so the axis
+    sweeps whole :class:`VictimConfig` objects; each scheme compiles once.
     """
-    points: List[CapacitorPoint] = []
+    victims: List[VictimConfig] = []
     for scheme in schemes:
-        compiled = compile_scheme(source(workload), scheme)
         for size in sizes:
             thresholds = _equal_energy_thresholds(size)
-            capacitor = Capacitor(size, v_max=3.3,
-                                  leakage_a_per_f=leakage_a_per_f)
-            capacitor.reset(thresholds["v_on"])
-            power = PowerSystem(
-                capacitor=capacitor,
-                harvester=ConstantSupply(harvest_power_w),
+            victims.append(VictimConfig(
+                workload=workload, scheme=scheme, capacitance=size,
+                supply_w=harvest_power_w,
+                cap_v_max=3.3, cap_leakage_a_per_f=leakage_a_per_f,
+                cap_v_init=thresholds["v_on"],
                 **thresholds,
-            )
-            sim = IntermittentSimulator(
-                machine=Machine(compiled.linked),
-                runtime=runtime_for(compiled),
-                power=power,
-                config=SimConfig(quantum=256, idle_dt_s=1e-3,
-                                 max_slices=50_000_000),
-            )
-            completions = 0
-            window = 0.05
-            while completions < target_completions and sim.t < max_sim_s:
-                result = sim.run(window)
-                completions += result.completions
-            points.append(CapacitorPoint(
-                capacitance_f=size, scheme=scheme,
-                total_time_s=sim.t, completions=completions,
             ))
-    return points
+    campaign = CampaignRunner(workers=workers).run(ExperimentSpec(
+        name="fig15-capacitor",
+        victim=victims[0],
+        attack=AttackSpec.silent(),
+        sweep={"victim": victims},
+        baseline=False,
+        mode="batch",
+        target_completions=target_completions,
+        batch_window_s=0.05,
+        max_sim_s=max_sim_s,
+        sim_overrides={"quantum": 256, "idle_dt_s": 1e-3,
+                       "max_slices": 50_000_000},
+    ))
+    return [
+        CapacitorPoint(
+            capacitance_f=victim.capacitance, scheme=victim.scheme,
+            total_time_s=outcome.result.duration_s,
+            completions=outcome.result.completions,
+        )
+        for victim, outcome in zip(victims, campaign.outcomes)
+    ]

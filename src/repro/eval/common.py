@@ -8,20 +8,15 @@ experiments, the way a single lab setup would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Optional, Sequence
+import hashlib
+from dataclasses import dataclass, field, fields, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core import CompiledProgram, compile_scheme
 from ..emi import AttackSchedule, DPIPath, EMISource, RemotePath, DeviceProfile, device
 from ..emi.devices import EVALUATION_BOARD
 from ..energy import Capacitor, ConstantSupply, PowerSystem, SquareWaveHarvester
-from ..runtime import (
-    IntermittentSimulator,
-    Machine,
-    SimConfig,
-    SimResult,
-    runtime_for,
-)
+from ..runtime import SimConfig, SimResult
 from ..workloads import source
 
 #: The paper's remote-attack rig: up to 35 dBm, 5 m, directional antenna.
@@ -38,7 +33,12 @@ VICTIM_WORKLOAD = "blink"
 
 @dataclass
 class VictimConfig:
-    """One victim device + power setup, reusable across attack runs."""
+    """One victim device + power setup, reusable across attack runs.
+
+    The config is plain data: picklable (campaign workers rebuild their own
+    simulators from it), replaceable via :meth:`with_overrides`, and keyed
+    for the campaign engine's compile/baseline caches via :meth:`cache_key`.
+    """
 
     device_name: str = EVALUATION_BOARD
     monitor_kind: str = "adc"
@@ -53,12 +53,47 @@ class VictimConfig:
     sleep_min_s: float = 2e-3
     quantum: int = 64
     region_budget: Optional[int] = None
+    #: Optional power-rail overrides (None -> PowerSystem/Capacitor defaults).
+    v_on: Optional[float] = None
+    v_backup: Optional[float] = None
+    v_off: Optional[float] = None
+    cap_v_max: float = 3.3
+    cap_leakage_a_per_f: Optional[float] = None
+    cap_v_init: Optional[float] = None     # None -> capacitor starts full
+    #: Inline MiniC source; overrides the bundled ``workload`` lookup so the
+    #: CLI can sweep user programs.
+    workload_source: Optional[str] = None
 
+    # -- declarative helpers -------------------------------------------
+    def with_overrides(self, **kw) -> "VictimConfig":
+        """A copy with the given fields replaced (dataclass ``replace``)."""
+        return replace(self, **kw)
+
+    def cache_key(self) -> Tuple:
+        """Stable, hashable identity over every field (baseline cache key)."""
+        return tuple((f.name, getattr(self, f.name)) for f in fields(self))
+
+    def compile_key(self) -> Tuple:
+        """Identity of the compiled artifact: (program, scheme, budget).
+
+        Two victims differing only in power/monitor setup share one compile.
+        """
+        if self.workload_source is not None:
+            program = ("inline",
+                       hashlib.sha256(self.workload_source.encode()).hexdigest())
+        else:
+            program = self.workload
+        budget = self.region_budget if self.scheme.startswith("gecko") else None
+        return (program, self.scheme, budget)
+
+    # -- factories ------------------------------------------------------
     def compile(self) -> CompiledProgram:
         kwargs = {}
         if self.region_budget is not None and self.scheme.startswith("gecko"):
             kwargs["region_budget"] = self.region_budget
-        return compile_scheme(source(self.workload), self.scheme, **kwargs)
+        text = self.workload_source if self.workload_source is not None \
+            else source(self.workload)
+        return compile_scheme(text, self.scheme, **kwargs)
 
     def power_system(self) -> PowerSystem:
         if self.supply_w is not None:
@@ -69,8 +104,17 @@ class VictimConfig:
                 period_s=self.outage_period_s,
                 duty=self.outage_duty,
             )
-        return PowerSystem(capacitor=Capacitor(self.capacitance),
-                           harvester=harvester)
+        cap_kwargs = {"v_max": self.cap_v_max}
+        if self.cap_leakage_a_per_f is not None:
+            cap_kwargs["leakage_a_per_f"] = self.cap_leakage_a_per_f
+        capacitor = Capacitor(self.capacitance, **cap_kwargs)
+        if self.cap_v_init is not None:
+            capacitor.reset(self.cap_v_init)
+        thresholds = {name: getattr(self, name)
+                      for name in ("v_on", "v_backup", "v_off")
+                      if getattr(self, name) is not None}
+        return PowerSystem(capacitor=capacitor, harvester=harvester,
+                           **thresholds)
 
     def sim_config(self, **overrides) -> SimConfig:
         config = SimConfig(quantum=self.quantum,
@@ -87,19 +131,27 @@ def run_attack(victim: VictimConfig,
                compiled: Optional[CompiledProgram] = None,
                duration_s: Optional[float] = None,
                config: Optional[SimConfig] = None) -> SimResult:
-    """Simulate one victim under one attack schedule."""
-    compiled = compiled or victim.compile()
-    sim = IntermittentSimulator(
-        machine=Machine(compiled.linked),
-        runtime=runtime_for(compiled),
-        power=victim.power_system(),
-        attack=attack or AttackSchedule.silent(),
-        path=path or RemotePath(distance_m=REMOTE_DISTANCE_M),
-        device_profile=victim.profile(),
-        monitor_kind=victim.monitor_kind,
-        config=config or victim.sim_config(),
+    """Simulate one victim under one attack schedule.
+
+    Compatibility wrapper: one grid point through the campaign engine
+    (:mod:`repro.eval.campaign`), which owns the simulator construction.
+    """
+    from .campaign import CampaignRunner, ExperimentSpec  # circular import
+
+    import dataclasses
+    cache = {victim.compile_key(): compiled} if compiled is not None else None
+    spec = ExperimentSpec(
+        name="run_attack",
+        victim=victim,
+        attack=attack if attack is not None else AttackSchedule.silent(),
+        path=path if path is not None
+        else RemotePath(distance_m=REMOTE_DISTANCE_M),
+        duration_s=duration_s,
+        sim_overrides=dataclasses.asdict(config) if config is not None else {},
+        baseline=False,
     )
-    return sim.run(duration_s or victim.duration_s)
+    runner = CampaignRunner(workers=1, compile_cache=cache, reraise=True)
+    return runner.run(spec).outcomes[0].result
 
 
 def remote_tone(freq_hz: float, dbm: float = REMOTE_TX_DBM) -> AttackSchedule:
@@ -110,7 +162,12 @@ def remote_tone(freq_hz: float, dbm: float = REMOTE_TX_DBM) -> AttackSchedule:
 def forward_progress(victim: VictimConfig, attack: AttackSchedule,
                      path=None, compiled: Optional[CompiledProgram] = None,
                      baseline: Optional[SimResult] = None):
-    """(rate R, attacked result, baseline result) for one attack setup."""
+    """(rate R, attacked result, baseline result) for one attack setup.
+
+    Compatibility wrapper over two single-point campaigns sharing one
+    compiled artifact; sweeps should use :class:`~repro.eval.campaign.
+    CampaignRunner`, which also deduplicates the silent baseline.
+    """
     compiled = compiled or victim.compile()
     if baseline is None:
         baseline = run_attack(victim, AttackSchedule.silent(), path=path,

@@ -10,22 +10,13 @@ unattacked NVP baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import compile_scheme
-from ..emi import AttackSchedule, EMISource, RemotePath
-from ..emi.devices import EVALUATION_BOARD, device
-from ..energy import Capacitor, PowerSystem, SquareWaveHarvester
-from ..runtime import (
-    IntermittentSimulator,
-    Machine,
-    SimConfig,
-    SimResult,
-    runtime_for,
-)
-from ..workloads import source
-from .common import REMOTE_TX_DBM
+from ..emi.devices import EVALUATION_BOARD
+from ..runtime import SimResult
+from .campaign import AttackSpec, CampaignRunner, ExperimentSpec, PathSpec
+from .common import REMOTE_TX_DBM, VictimConfig
 
 #: The paper's six scenarios, as attack windows in fractions of the run
 #: (Fig. 13: attacks at minute marks of a 50-minute window).
@@ -59,66 +50,70 @@ class DetectionRun:
         return self.result.throughput_per_minute(self.window_s)
 
 
-def _attack_schedule(windows: Sequence[Tuple[float, float]],
-                     total_s: float, freq_hz: float) -> AttackSchedule:
-    schedule = AttackSchedule()
-    for start, end in windows:
-        schedule.add(start * total_s, end * total_s,
-                     EMISource(freq_hz, REMOTE_TX_DBM))
-    return schedule
+def detection_spec(scenarios: Sequence[object],
+                   schemes: Sequence[str],
+                   workload: str = "blink",
+                   total_s: float = 0.6,
+                   outage_period_s: float = 0.05,
+                   outage_duty: float = 0.4,
+                   capacitance_f: float = 22e-6,
+                   device_name: str = EVALUATION_BOARD,
+                   region_budget: int = 20_000) -> ExperimentSpec:
+    """The Fig. 13 grid as an :class:`ExperimentSpec`.
 
-
-def run_scenario(scenario: str, scheme: str,
-                 workload: str = "blink",
-                 total_s: float = 0.6,
-                 outage_period_s: float = 0.05,
-                 outage_duty: float = 0.4,
-                 capacitance_f: float = 22e-6,
-                 device_name: str = EVALUATION_BOARD,
-                 region_budget: int = 20_000) -> DetectionRun:
-    """Simulate one scheme through one attack scenario.
-
-    The harvester produces genuine periodic outages (the paper's 1 Hz power
-    generator, time-compressed) so reboots — and with them GECKO's
-    detection and re-enable protocol — run continuously.
+    ``scenarios`` entries are :data:`SCENARIOS` names or raw window tuples
+    ((start, end) fractions of the run).  The harvester produces genuine
+    periodic outages (the paper's 1 Hz power generator, time-compressed) so
+    reboots — and with them GECKO's detection and re-enable protocol — run
+    continuously.
     """
-    windows = SCENARIOS[scenario]
-    kwargs = {"region_budget": region_budget} if scheme.startswith("gecko") else {}
-    compiled = compile_scheme(source(workload), scheme, **kwargs)
-    profile = device(device_name)
-    freq = profile.adc_curve.peak_frequency()
-    power = PowerSystem(
-        capacitor=Capacitor(capacitance_f),
-        harvester=SquareWaveHarvester(on_power_w=8e-3,
-                                      period_s=outage_period_s,
-                                      duty=outage_duty),
+    windows = [SCENARIOS[s] if isinstance(s, str) else tuple(s)
+               for s in scenarios]
+    victim = VictimConfig(
+        device_name=device_name, monitor_kind="adc", workload=workload,
+        scheme=schemes[0], capacitance=capacitance_f, supply_w=None,
+        outage_period_s=outage_period_s, outage_duty=outage_duty,
+        outage_power_w=8e-3, duration_s=total_s, sleep_min_s=1e-3,
+        quantum=64, region_budget=region_budget,
     )
-    sim = IntermittentSimulator(
-        machine=Machine(compiled.linked),
-        runtime=runtime_for(compiled),
-        power=power,
-        attack=_attack_schedule(windows, total_s, freq),
-        path=RemotePath(distance_m=5.0),
-        device_profile=profile,
-        monitor_kind="adc",
-        config=SimConfig(quantum=64, sleep_min_s=1e-3,
-                         record_timeline=True,
-                         timeline_dt_s=total_s / 30.0),
+    return ExperimentSpec(
+        name="fig13-detection",
+        victim=victim,
+        attack=AttackSpec.bursts((), tx_dbm=REMOTE_TX_DBM),  # peak freq
+        path=PathSpec.remote(5.0),
+        sim_overrides={"record_timeline": True,
+                       "timeline_dt_s": total_s / 30.0},
+        sweep={"attack.windows": windows, "victim.scheme": list(schemes)},
+        baseline=False,
     )
-    result = sim.run(total_s)
-    return DetectionRun(scenario=scenario, scheme=scheme, result=result,
-                        window_s=total_s)
 
 
 def figure13(scenarios: Optional[Sequence[str]] = None,
              schemes: Sequence[str] = DETECTION_SCHEMES,
+             workers: int = 1,
              **kwargs) -> List[DetectionRun]:
-    """All scenario x scheme runs for the Fig. 13 panels."""
-    runs: List[DetectionRun] = []
-    for scenario in scenarios or SCENARIOS:
-        for scheme in schemes:
-            runs.append(run_scenario(scenario, scheme, **kwargs))
-    return runs
+    """All scenario x scheme runs for the Fig. 13 panels, as one campaign
+    (each scheme compiles once, shared across scenarios)."""
+    names = list(scenarios or SCENARIOS)
+    schemes = list(schemes)
+    total_s = kwargs.get("total_s", 0.6)
+    spec = detection_spec(names, schemes, **kwargs)
+    campaign = CampaignRunner(workers=workers).run(spec)
+    return [
+        DetectionRun(
+            scenario=names[outcome.index // len(schemes)],
+            scheme=schemes[outcome.index % len(schemes)],
+            result=outcome.result,
+            window_s=total_s,
+        )
+        for outcome in campaign.outcomes
+    ]
+
+
+def run_scenario(scenario: str, scheme: str, **kwargs) -> DetectionRun:
+    """Simulate one scheme through one attack scenario (single-point
+    campaign; see :func:`detection_spec` for the knobs)."""
+    return figure13(scenarios=[scenario], schemes=[scheme], **kwargs)[0]
 
 
 @dataclass
@@ -141,23 +136,25 @@ class AttackThroughput:
 def throughput_under_attack(workload: str = "blink",
                             total_s: float = 0.5,
                             schemes: Sequence[str] = DETECTION_SCHEMES,
+                            workers: int = 1,
                             **kwargs) -> List[AttackThroughput]:
-    """Sustained attack from t=0 (the paper's 41%-of-baseline experiment)."""
+    """Sustained attack from t=0 (the paper's 41%-of-baseline experiment).
+
+    Attack windows are data now, so the sustained scenario is just the raw
+    window ``((0.0, 1.0),)`` — no scenario-table mutation required.
+    """
     baseline = run_scenario("a-none", "nvp", workload=workload,
                             total_s=total_s, **kwargs)
-    rows: List[AttackThroughput] = []
-    SCENARIOS["sustained"] = ((0.0, 1.0),)
-    try:
-        for scheme in schemes:
-            run = run_scenario("sustained", scheme, workload=workload,
-                               total_s=total_s, **kwargs)
-            rows.append(AttackThroughput(
-                scheme=scheme,
-                completions=run.result.completions,
-                baseline_completions=baseline.result.completions,
-                attacks_detected=run.result.attacks_detected,
-                final_state=run.result.final_state,
-            ))
-    finally:
-        SCENARIOS.pop("sustained", None)
-    return rows
+    sustained = figure13(scenarios=[((0.0, 1.0),)], schemes=list(schemes),
+                         workload=workload, total_s=total_s,
+                         workers=workers, **kwargs)
+    return [
+        AttackThroughput(
+            scheme=run.scheme,
+            completions=run.result.completions,
+            baseline_completions=baseline.result.completions,
+            attacks_detected=run.result.attacks_detected,
+            final_state=run.result.final_state,
+        )
+        for run in sustained
+    ]

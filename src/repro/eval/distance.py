@@ -9,12 +9,12 @@ victim's resonant frequency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from ..emi import RemotePath, device
 from ..emi.devices import EVALUATION_BOARD
-from .common import VictimConfig, forward_progress, remote_tone, run_attack
+from .campaign import AttackSpec, CampaignRunner, ExperimentSpec, PathSpec
+from .common import VictimConfig
 
 
 @dataclass
@@ -29,25 +29,33 @@ def distance_grid(device_name: str = EVALUATION_BOARD,
                   distances_m: Optional[List[float]] = None,
                   powers_dbm: Optional[List[float]] = None,
                   walls: int = 1,
-                  duration_s: float = 0.04) -> List[DistancePoint]:
-    """R over a (distance, TX power) grid at the device's peak frequency."""
-    profile = device(device_name)
-    freq = profile.adc_curve.peak_frequency()
-    victim = VictimConfig(device_name=device_name, duration_s=duration_s)
-    compiled = victim.compile()
+                  duration_s: float = 0.04,
+                  workers: int = 1) -> List[DistancePoint]:
+    """R over a (distance, TX power) grid at the device's peak frequency.
 
-    points: List[DistancePoint] = []
-    for distance in distances_m or [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 7.0]:
-        path = RemotePath(distance_m=distance, walls=walls)
-        baseline = run_attack(victim, path=path, compiled=compiled)
-        for dbm in powers_dbm or [0, 10, 20, 25, 30, 35]:
-            rate, _, _ = forward_progress(
-                victim, remote_tone(freq, dbm), path=path,
-                compiled=compiled, baseline=baseline,
-            )
-            points.append(DistancePoint(distance_m=distance, tx_dbm=dbm,
-                                        progress_rate=rate, walls=walls))
-    return points
+    One campaign over two axes; the silent baseline depends on the path,
+    so dedup runs it once per distance and shares it across TX powers.
+    """
+    distances = list(distances_m or [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 7.0])
+    powers = list(powers_dbm or [0, 10, 20, 25, 30, 35])
+    victim = VictimConfig(device_name=device_name, duration_s=duration_s)
+    campaign = CampaignRunner(workers=workers).run(ExperimentSpec(
+        name=f"distance:{device_name}",
+        victim=victim,
+        attack=AttackSpec.tone(),          # freq None -> resonant peak
+        path=PathSpec.remote(walls=walls),
+        sweep={"path.distance_m": distances, "attack.tx_dbm": powers},
+    ))
+    return [
+        DistancePoint(
+            distance_m=outcome.params["path.distance_m"],
+            tx_dbm=outcome.params["attack.tx_dbm"],
+            progress_rate=outcome.progress_rate
+            if outcome.progress_rate is not None else 0.0,
+            walls=walls,
+        )
+        for outcome in campaign.outcomes
+    ]
 
 
 def max_effective_distance(points: List[DistancePoint],

@@ -8,21 +8,17 @@ frequency, and the peak checkpoint-failure rate F.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional
 
-from ..emi import DPIPath, RemotePath, device, device_names
+from ..emi import device, device_names
+from .campaign import AttackSpec, CampaignRunner, ExperimentSpec, PathSpec
 from .common import (
     DPI_TX_DBM,
     REMOTE_TX_DBM,
     VictimConfig,
-    forward_progress,
     frequency_sweep_mhz,
-    remote_tone,
-    run_attack,
 )
-from ..emi.attacker import AttackSchedule
-from ..emi.signal import EMISource
 
 
 @dataclass
@@ -65,45 +61,68 @@ def sweep_device(device_name: str, monitor_kind: str = "adc",
                  freqs_mhz: Optional[List[float]] = None,
                  tx_dbm: Optional[float] = None,
                  measure_failures: bool = False,
-                 duration_s: float = 0.05) -> SweepResult:
+                 duration_s: float = 0.05,
+                 workers: int = 1) -> SweepResult:
     """Run one frequency sweep against one device/monitor/path combo.
 
-    ``measure_failures`` switches the victim to the weak-outage power setup
-    where the V_fail corruption window actually opens (§IV-B2) and records
-    checkpoint-failure rates alongside progress rates.
+    Two campaigns through one :class:`CampaignRunner`: the rate sweep
+    (one compile, one shared silent baseline), then — when
+    ``measure_failures`` is set — a second sweep over just the biting
+    frequencies with the victim switched to the weak-outage power setup
+    where the V_fail corruption window actually opens (§IV-B2).  The
+    runner's compile cache carries the compiled workload across both.
     """
     if injection == "remote":
-        path = RemotePath(distance_m=5.0)
+        path = PathSpec.remote(5.0)
         dbm = REMOTE_TX_DBM if tx_dbm is None else tx_dbm
     else:
-        path = DPIPath(point=injection)
+        path = PathSpec.dpi(injection)
         dbm = DPI_TX_DBM if tx_dbm is None else tx_dbm
 
     victim = VictimConfig(device_name=device_name, monitor_kind=monitor_kind,
                           duration_s=duration_s)
-    fail_victim = replace(
-        victim, supply_w=None, capacitance=4.7e-6, sleep_min_s=1e-3,
-        duration_s=max(duration_s, 0.4),
-    )
-    compiled = victim.compile()
-    baseline = run_attack(victim, path=path, compiled=compiled)
+    freqs = list(freqs_mhz or frequency_sweep_mhz())
+    runner = CampaignRunner(workers=workers)
+    campaign = runner.run(ExperimentSpec(
+        name=f"sweep:{device_name}:{monitor_kind}:{injection}",
+        victim=victim,
+        attack=AttackSpec.tone(tx_dbm=dbm),
+        path=path,
+        sweep={"attack.freq_mhz": freqs},
+    ))
+
+    failures = {}
+    if measure_failures:
+        # Only frequencies that bite are worth the longer failure run.
+        biting = [o.params["attack.freq_mhz"] for o in campaign.outcomes
+                  if o.progress_rate is not None and o.progress_rate < 0.9]
+        if biting:
+            fail_victim = victim.with_overrides(
+                supply_w=None, capacitance=4.7e-6, sleep_min_s=1e-3,
+                duration_s=max(duration_s, 0.4),
+            )
+            fail_campaign = runner.run(ExperimentSpec(
+                name=f"sweep-failures:{device_name}",
+                victim=fail_victim,
+                attack=AttackSpec.tone(tx_dbm=dbm),
+                path=path,
+                sweep={"attack.freq_mhz": biting},
+                baseline=False,
+            ))
+            failures = {
+                o.params["attack.freq_mhz"]: o.result.checkpoint_failure_rate
+                for o in fail_campaign.outcomes if o.result is not None
+            }
 
     result = SweepResult(device_name=device_name, monitor_kind=monitor_kind,
                          injection=injection)
-    for freq in freqs_mhz or frequency_sweep_mhz():
-        schedule = AttackSchedule.always(EMISource(freq * 1e6, dbm))
-        rate, attacked, _ = forward_progress(
-            victim, schedule, path=path, compiled=compiled, baseline=baseline
-        )
-        failure = 0.0
-        if measure_failures and rate < 0.9:
-            # Only frequencies that bite are worth the longer failure run.
-            fail_run = run_attack(fail_victim, schedule, path=path,
-                                  compiled=compiled)
-            failure = fail_run.checkpoint_failure_rate
-        result.points.append(
-            SweepPoint(freq_mhz=freq, progress_rate=rate, failure_rate=failure)
-        )
+    for freq, outcome in zip(freqs, campaign.outcomes):
+        rate = outcome.progress_rate if outcome.progress_rate is not None \
+            else 0.0
+        result.points.append(SweepPoint(
+            freq_mhz=freq, progress_rate=rate,
+            failure_rate=failures.get(freq, 0.0),
+        ))
     return result
 
 

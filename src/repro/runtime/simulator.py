@@ -24,6 +24,7 @@ Device states:
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -105,6 +106,25 @@ class SimResult:
         if window <= 0:
             return 0.0
         return self.completions * 60.0 / window
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe dict of every field (timeline tuples become lists)."""
+        data = dataclasses.asdict(self)
+        data["timeline"] = [list(entry) for entry in self.timeline]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output (extra keys ignored)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in names}
+        if "timeline" in kwargs:
+            kwargs["timeline"] = [tuple(entry) for entry in kwargs["timeline"]]
+        if "committed_outputs" in kwargs:
+            kwargs["committed_outputs"] = [list(run)
+                                           for run in kwargs["committed_outputs"]]
+        return cls(**kwargs)
 
 
 class IntermittentSimulator:
@@ -230,7 +250,9 @@ class IntermittentSimulator:
         if cycles:
             self.power.consume_cycles(cycles)
             dt = self.power.mcu.cycles_to_seconds(cycles)
-            amplitude, freq, incident = self._attack_at(self.t)
+            # The monitor only samples at slice boundaries; mid-slice the
+            # attack matters solely through the harvested incident power.
+            incident = self._attack_at(self.t)[2]
             self._charge(dt, incident)
             self.t += dt
             result.executed_cycles += cycles
