@@ -14,8 +14,13 @@ Installed as ``repro-gecko`` (see pyproject) and runnable as
 * ``campaign <prog>``       — declarative sweep campaign over frequency
   (and optionally distance) with ``--workers`` parallelism, compile
   caching and baseline dedup; ``--json`` saves the full CampaignResult.
+* ``faultsim <workload>``   — systematic fault-injection campaign:
+  sweeps the (fault model × time × target) space per scheme, classifies
+  every run against a golden reference, and prints the vulnerability
+  maps; ``--json`` saves them.
 
-``<prog>`` is either a bundled workload name or a path to a MiniC file.
+``<prog>`` is either a bundled workload name or a path to a MiniC file
+(``faultsim`` takes bundled workload names only).
 """
 
 from __future__ import annotations
@@ -286,6 +291,49 @@ def cmd_campaign(args) -> int:
     return 1 if stats.failures else 0
 
 
+def cmd_faultsim(args) -> int:
+    import json as json_mod
+
+    from .faultsim import FAULT_MODELS, scheme_comparison
+
+    if args.workload not in WORKLOAD_NAMES:
+        raise SystemExit(
+            f"error: faultsim takes a bundled workload name "
+            f"({', '.join(WORKLOAD_NAMES)}), got {args.workload!r}")
+    schemes = [s.strip() for s in args.scheme.split(",") if s.strip()]
+    if args.fault_model.strip() == "all":
+        models = FAULT_MODELS
+    else:
+        models = tuple(m.strip() for m in args.fault_model.split(",")
+                       if m.strip())
+        unknown = [m for m in models if m not in FAULT_MODELS]
+        if unknown:
+            raise SystemExit(
+                f"error: unknown fault models {', '.join(unknown)} "
+                f"(choose from {', '.join(FAULT_MODELS)} or 'all')")
+
+    campaigns = scheme_comparison(
+        workload=args.workload, schemes=schemes, models=models,
+        points=args.points, seed=args.seed, duration_s=args.duration,
+        workers=args.workers,
+    )
+    for scheme, campaign in campaigns.items():
+        print(campaign.map.render())
+        corrupting = campaign.map.corruption_count()
+        print(f"{scheme}: {corrupting} corrupting injections (sdc+brick) "
+              f"out of {campaign.map.total}  "
+              f"[fingerprint {campaign.map.fingerprint()[:16]}]")
+        print()
+    if args.json:
+        payload = {scheme: campaign.map.to_dict()
+                   for scheme, campaign in campaigns.items()}
+        with open(args.json, "w") as handle:
+            json_mod.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser.
 # ----------------------------------------------------------------------
@@ -361,6 +409,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the CampaignResult JSON here")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("faultsim",
+                       help="systematic fault-injection campaign")
+    p.add_argument("workload", help="bundled workload name")
+    p.add_argument("--scheme", default="nvp,gecko",
+                   metavar="S1,S2,..",
+                   help="comma-separated crash-consistency schemes")
+    p.add_argument("--fault-model", default="all", metavar="M1,M2,..|all",
+                   help="fault models to inject (default: all)")
+    p.add_argument("--points", type=int, default=50,
+                   help="injections per fault model")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for the deterministic injection plan")
+    p.add_argument("--duration", type=float, default=0.25,
+                   help="simulated seconds per injection")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the injection grid")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the vulnerability maps as JSON here")
+    p.set_defaults(func=cmd_faultsim)
     return parser
 
 

@@ -7,6 +7,7 @@ of transmission windows; :class:`AttackSchedule` models that.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -27,9 +28,31 @@ class AttackWindow:
 
 @dataclass
 class AttackSchedule:
-    """A timeline of attack windows (non-overlapping; first match wins)."""
+    """A timeline of attack windows, kept sorted by start time.
+
+    :meth:`source_at` is on the simulator's per-slice hot path, so lookups
+    bisect the sorted starts instead of scanning: O(log n) for the
+    non-overlapping schedules the experiments build (if windows do overlap,
+    the latest-starting active window wins).  Mutate via :meth:`add` — it
+    maintains the sort and the lookup index.
+    """
 
     windows: List[AttackWindow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.windows.sort(key=lambda window: window.start_s)
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._starts = [window.start_s for window in self.windows]
+        # _reach[i] = max end over windows[0..i]: windows at or before i
+        # can only cover t when _reach[i] > t, which bounds the leftward
+        # scan to a single probe on non-overlapping schedules.
+        self._reach = []
+        reach = float("-inf")
+        for window in self.windows:
+            reach = max(reach, window.end_s)
+            self._reach.append(reach)
 
     @classmethod
     def always(cls, source: EMISource,
@@ -49,13 +72,18 @@ class AttackSchedule:
         return cls([AttackWindow(a, b, source) for a, b in intervals])
 
     def add(self, start_s: float, end_s: float, source: EMISource) -> None:
-        self.windows.append(AttackWindow(start_s, end_s, source))
+        window = AttackWindow(start_s, end_s, source)
+        index = bisect.bisect_right(self._starts, start_s)
+        self.windows.insert(index, window)
+        self._reindex()
 
     def source_at(self, t: float) -> Optional[EMISource]:
         """The active tone at time ``t`` (or None when the air is quiet)."""
-        for window in self.windows:
-            if window.active_at(t):
-                return window.source
+        index = bisect.bisect_right(self._starts, t) - 1
+        while index >= 0 and self._reach[index] > t:
+            if self.windows[index].active_at(t):
+                return self.windows[index].source
+            index -= 1
         return None
 
     @property

@@ -156,6 +156,9 @@ class RunSpec:
     target_completions: int = 0        # batch mode: stop after this many
     batch_window_s: float = 0.05       # batch mode: sim window per step
     max_sim_s: float = 20.0            # batch mode: hard time stop
+    #: Optional fault injection (a :class:`~repro.faultsim.FaultSpec`);
+    #: the worker builds the injector, so grid points stay picklable.
+    fault: Any = None
 
     @property
     def duration(self) -> float:
@@ -172,13 +175,18 @@ class RunSpec:
                 self.batch_window_s, self.max_sim_s)
 
     def silenced(self) -> "RunSpec":
-        return replace(self, attack=AttackSpec.silent())
+        """The golden reference point: no attack, no injected fault."""
+        return replace(self, attack=AttackSpec.silent(), fault=None)
 
 
 def execute_run(run: RunSpec, compiled) -> SimResult:
     """Build a fresh simulator for one grid point and run it."""
     victim = run.victim
     duration = run.duration
+    injector = None
+    if run.fault is not None:
+        from ..faultsim.injector import FaultInjector  # avoid import cycle
+        injector = FaultInjector.from_spec(run.fault)
     sim = IntermittentSimulator(
         machine=Machine(compiled.linked),
         runtime=runtime_for(compiled),
@@ -188,6 +196,7 @@ def execute_run(run: RunSpec, compiled) -> SimResult:
         device_profile=victim.profile(),
         monitor_kind=victim.monitor_kind,
         config=victim.sim_config(**dict(run.sim_overrides)),
+        fault_injector=injector,
     )
     if run.mode == "batch":
         return _run_batch(sim, run)
@@ -244,7 +253,8 @@ class ExperimentSpec:
     * ``"victim.<field>"`` — :meth:`VictimConfig.with_overrides`;
     * ``"attack.<field>"`` / ``"path.<field>"`` — spec field replacement;
     * ``"sim.<field>"`` — a :class:`SimConfig` override;
-    * ``"duration_s"`` — the run window.
+    * ``"duration_s"`` — the run window;
+    * ``"fault"`` — a fault injection per point (:mod:`repro.faultsim`).
 
     ``baseline=True`` runs the silent-attack baseline for every distinct
     (victim, path, duration, sim config) and attaches forward-progress
@@ -263,6 +273,7 @@ class ExperimentSpec:
     target_completions: int = 0
     batch_window_s: float = 0.05
     max_sim_s: float = 20.0
+    fault: Any = None
 
     def expand(self) -> List[Tuple[Dict[str, Any], RunSpec]]:
         """The (params, run) grid, in cartesian-product order."""
@@ -276,6 +287,7 @@ class ExperimentSpec:
     def _resolve(self, params: Mapping[str, Any]) -> RunSpec:
         victim, attack, path = self.victim, self.attack, self.path
         duration = self.duration_s
+        fault = self.fault
         overrides = dict(self.sim_overrides)
         for target, value in params.items():
             if target == "victim":
@@ -284,6 +296,8 @@ class ExperimentSpec:
                 attack = value
             elif target == "path":
                 path = value
+            elif target == "fault":
+                fault = value
             elif target == "duration_s":
                 duration = value
             elif target.startswith("victim."):
@@ -307,6 +321,7 @@ class ExperimentSpec:
             sim_overrides=tuple(sorted(overrides.items())),
             mode=self.mode, target_completions=self.target_completions,
             batch_window_s=self.batch_window_s, max_sim_s=self.max_sim_s,
+            fault=fault,
         )
 
 

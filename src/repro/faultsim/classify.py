@@ -1,0 +1,100 @@
+"""Outcome classification against a golden fault-free reference.
+
+Every injected run is judged the way ARMORY judges exhaustive fault
+simulations: against the same victim's fault-free execution of the same
+window.  Ground truth is :attr:`SimResult.committed_outputs` — the
+externally observable I/O — plus the device's terminal state:
+
+* ``brick``    — the device trapped and stayed dead (``final_state ==
+  "failed"``); the paper's NVP-under-corruption end state (§VII-B3).
+* ``hang``     — no corruption observed, but forward progress collapsed:
+  zero completions, or under half the golden completion count.
+* ``sdc``      — silent data corruption: some completed run committed
+  output that differs from the golden pattern.
+* ``detected`` — outputs correct, and the runtime visibly reacted: an
+  attack detection, a checkpoint failure, or a rollback recovery beyond
+  what the golden run needed.
+* ``masked``   — the fault had no observable effect at all.
+
+Precedence is severity order: brick > sdc > hang > detected > masked
+(a corrupted output matters more than the slowdown around it; a run with
+zero completions has no outputs, so ``hang`` still catches total stalls).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from ..runtime import SimResult
+from .models import FaultSimError
+
+
+class Outcome(str, enum.Enum):
+    """Classification of one injected run (severity-ordered)."""
+
+    MASKED = "masked"
+    DETECTED = "detected"
+    HANG = "hang"
+    SDC = "sdc"
+    BRICK = "brick"
+
+
+#: Map-column order, benign to terminal.
+OUTCOME_ORDER = (Outcome.MASKED, Outcome.DETECTED, Outcome.HANG,
+                 Outcome.SDC, Outcome.BRICK)
+
+#: Outcomes that violate the paper's correctness claim (§VII-B3).
+CORRUPTION_OUTCOMES = frozenset({Outcome.SDC, Outcome.BRICK})
+
+
+def golden_pattern(golden: SimResult) -> List[int]:
+    """The per-completion output every run must reproduce exactly.
+
+    The applications are deterministic loops (sensor replay included), so
+    the golden run's completions all commit identical output; anything
+    else means the reference itself is unusable.
+    """
+    if golden.machine_fault or golden.final_state == "failed":
+        raise FaultSimError(
+            f"golden reference is not fault-free: {golden.machine_fault}")
+    if not golden.committed_outputs:
+        raise FaultSimError(
+            "golden reference completed no runs; lengthen the window")
+    first = list(golden.committed_outputs[0])
+    for outputs in golden.committed_outputs[1:]:
+        if list(outputs) != first:
+            raise FaultSimError(
+                "golden reference output varies across iterations")
+    return first
+
+
+def detection_signals(result: SimResult, golden: SimResult) -> bool:
+    """Did the runtime visibly react beyond the golden run's baseline?"""
+    return (result.attacks_detected > golden.attacks_detected
+            or result.jit_checkpoint_failures > golden.jit_checkpoint_failures
+            or result.rollback_restores > golden.rollback_restores)
+
+
+def classify(result: Optional[SimResult], golden: SimResult,
+             error: Optional[str] = None) -> Outcome:
+    """Classify one injected run against its golden reference.
+
+    ``error`` covers runs the simulator itself gave up on (campaign-level
+    failures): an exhausted slice budget is a stall, anything else a trap.
+    """
+    pattern = golden_pattern(golden)
+    if result is None:
+        if error and "max_slices" in error:
+            return Outcome.HANG
+        return Outcome.BRICK
+    if result.final_state == "failed" or result.machine_fault:
+        return Outcome.BRICK
+    for outputs in result.committed_outputs:
+        if list(outputs) != pattern:
+            return Outcome.SDC
+    if result.completions * 2 < golden.completions:
+        return Outcome.HANG
+    if detection_signals(result, golden):
+        return Outcome.DETECTED
+    return Outcome.MASKED

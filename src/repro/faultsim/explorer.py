@@ -1,0 +1,258 @@
+"""Systematic exploration of the injection space, fanned out as a campaign.
+
+ARMORY's lesson is that fault *campaigns* — sweeps over the full
+(time × model × target) injection space — are the correctness tool for
+fault-tolerant firmware, not single hand-picked glitches.  This module
+turns that sweep into campaign data:
+
+* :func:`profile_execution` runs the victim once on stable power and
+  records which idempotent region every instruction belongs to, so
+  step-triggered faults carry a plan-time region attribution;
+* :class:`FaultCampaignSpec` deterministically expands (seeded RNG) into
+  a list of :class:`~repro.faultsim.models.FaultSpec` injections and an
+  :class:`~repro.eval.campaign.ExperimentSpec` whose sweep axis is the
+  fault itself;
+* :func:`run_fault_campaign` rides the existing
+  :class:`~repro.eval.campaign.CampaignRunner` — worker pool, compile
+  cache, baseline dedup — so the golden fault-free reference is computed
+  once and shared, then classifies every outcome into a
+  :class:`~repro.faultsim.report.VulnerabilityMap`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..eval.campaign import (
+    AttackSpec,
+    CampaignResult,
+    CampaignRunner,
+    ExperimentSpec,
+    PathSpec,
+)
+from ..eval.common import VictimConfig
+from ..isa.operands import NUM_REGS
+from ..runtime import Machine
+from .classify import classify, golden_pattern
+from .models import (
+    CKPT_CORRUPT,
+    CKPT_TRUNCATE,
+    FAULT_MODELS,
+    FaultSimError,
+    FaultSpec,
+    IMAGE_PREFIX_WORDS,
+    INSTR_SKIP,
+    REG_FLIP,
+    SIGNAL_DROP,
+    SIGNAL_SPURIOUS,
+    STEP_MODELS,
+    image_word_label,
+)
+from .report import VulnerabilityMap
+
+#: Injections per fault model in a default exhaustive sweep.
+DEFAULT_POINTS = 50
+
+#: Stable-power profiling stop: no bundled workload iteration comes close.
+_PROFILE_STEP_CAP = 500_000
+
+
+def fault_victim(workload: str = "crc16", scheme: str = "nvp",
+                 duration_s: float = 0.25, **overrides) -> VictimConfig:
+    """A victim whose window genuinely exercises the checkpoint machinery.
+
+    Same shape as the Fig. 13 detection rig: a small storage capacitor on
+    an outage-driven harvester, so JIT checkpoints, shutdowns, and reboots
+    recur throughout the window instead of never happening on bench power.
+    """
+    victim = VictimConfig(
+        workload=workload, scheme=scheme, duration_s=duration_s,
+        capacitance=22e-6, supply_w=None, outage_period_s=0.05,
+        outage_duty=0.4, outage_power_w=8e-3, sleep_min_s=1e-3, quantum=64,
+    )
+    return victim.with_overrides(**overrides) if overrides else victim
+
+
+@dataclass
+class ExecutionProfile:
+    """Region occupancy of one stable-power reference execution."""
+
+    regions: List[int] = field(default_factory=list)
+
+    @property
+    def total_steps(self) -> int:
+        return len(self.regions)
+
+    def region_at(self, step: int) -> int:
+        """The last-committed region when instruction ``step`` executes."""
+        return self.regions[step % len(self.regions)] if self.regions else 0
+
+
+def profile_execution(linked,
+                      max_steps: int = _PROFILE_STEP_CAP) -> ExecutionProfile:
+    """One fault-free iteration, recording the region at every step."""
+    machine = Machine(linked)
+    regions: List[int] = []
+    while not machine.halted and len(regions) < max_steps:
+        regions.append(machine.read_word("__region_cur"))
+        machine.step()
+    if not machine.halted:
+        raise FaultSimError(
+            f"profiling run did not halt within {max_steps} steps")
+    return ExecutionProfile(regions=regions)
+
+
+@dataclass
+class FaultCampaignSpec:
+    """A whole injection campaign as data: victim + models + density.
+
+    ``points`` injections are drawn per fault model from a seeded RNG, so
+    the same spec always expands to the same plan — the determinism the
+    serial/parallel bit-identity guarantee rests on.
+    """
+
+    victim: VictimConfig = field(default_factory=fault_victim)
+    models: Tuple[str, ...] = FAULT_MODELS
+    points: int = DEFAULT_POINTS
+    seed: int = 0
+    name: str = "faultsim"
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.models if m not in FAULT_MODELS]
+        if unknown:
+            raise FaultSimError(
+                f"unknown fault models {unknown} "
+                f"(want a subset of {', '.join(FAULT_MODELS)})")
+        if self.points < 1:
+            raise FaultSimError("points must be >= 1")
+
+    # ------------------------------------------------------------------
+    def plan(self, compiled=None) -> List[FaultSpec]:
+        """The deterministic injection list (the campaign's sweep axis)."""
+        profile: Optional[ExecutionProfile] = None
+        if any(model in STEP_MODELS for model in self.models):
+            compiled = compiled or self.victim.compile()
+            profile = profile_execution(compiled.linked)
+        rng = random.Random(self.seed)
+        duration = self.victim.duration_s
+        plan: List[FaultSpec] = []
+        for model in self.models:
+            for index in range(self.points):
+                plan.append(self._draw(model, index, rng, profile, duration))
+        return plan
+
+    def _draw(self, model: str, index: int, rng: random.Random,
+              profile: Optional[ExecutionProfile],
+              duration: float) -> FaultSpec:
+        if model in STEP_MODELS:
+            step = rng.randrange(profile.total_steps)
+            region = f"region:{profile.region_at(step)}"
+            if model == REG_FLIP:
+                return FaultSpec(model=model, trigger_step=step,
+                                 target=rng.randrange(NUM_REGS),
+                                 bit=rng.randrange(32), region=region)
+            return FaultSpec(model=model, trigger_step=step, region=region)
+        if model == CKPT_CORRUPT:
+            target = rng.randrange(IMAGE_PREFIX_WORDS)
+            # Even spread over the window so injections land after the
+            # first committed checkpoint, where corruption can bite.
+            t = duration * (index + 1) / (self.points + 1)
+            return FaultSpec(model=model, trigger_time_s=t, target=target,
+                             bit=rng.randrange(32),
+                             region=f"img:{image_word_label(target)}")
+        if model == CKPT_TRUNCATE:
+            cut = rng.randrange(IMAGE_PREFIX_WORDS)
+            t = duration * (index + 1) / (self.points + 1)
+            return FaultSpec(model=model, trigger_time_s=t, target=cut,
+                             region="img:partial")
+        # Signal faults: anywhere in the window but its very end, where a
+        # forged event could no longer change anything observable.
+        t = rng.uniform(0.0, duration * 0.9)
+        assert model in (SIGNAL_DROP, SIGNAL_SPURIOUS)
+        return FaultSpec(model=model, trigger_time_s=t, region="signal")
+
+    def experiment_spec(self,
+                        plan: Optional[Sequence[FaultSpec]] = None,
+                        compiled=None) -> ExperimentSpec:
+        """The campaign grid: one silent-air run per injection, plus the
+        shared golden baseline the classifier compares against."""
+        plan = list(plan) if plan is not None else self.plan(compiled)
+        return ExperimentSpec(
+            name=f"{self.name}:{self.victim.workload}:{self.victim.scheme}",
+            victim=self.victim,
+            attack=AttackSpec.silent(),
+            path=PathSpec.remote(),
+            sweep={"fault": plan},
+            baseline=True,
+        )
+
+
+@dataclass
+class FaultCampaign:
+    """Everything one injection campaign produced."""
+
+    spec: FaultCampaignSpec
+    map: VulnerabilityMap
+    campaign: CampaignResult
+
+    @property
+    def golden(self):
+        return self.campaign.baselines[0].result
+
+    def golden_outputs(self) -> List[int]:
+        return golden_pattern(self.golden)
+
+
+def run_fault_campaign(spec: FaultCampaignSpec, workers: int = 1,
+                       runner: Optional[CampaignRunner] = None
+                       ) -> FaultCampaign:
+    """Plan, fan out, classify: one vulnerability map per call.
+
+    The compile cache is shared with any caller-provided runner, so a
+    multi-scheme study (NVP vs. GECKO over the same workload) compiles
+    each scheme exactly once across all of its campaigns.
+    """
+    runner = runner or CampaignRunner(workers=workers)
+    key = spec.victim.compile_key()
+    compiled = runner.compile_cache.get(key)
+    if compiled is None:
+        compiled = spec.victim.compile()
+        runner.compile_cache[key] = compiled
+    plan = spec.plan(compiled)
+    campaign = runner.run(spec.experiment_spec(plan))
+
+    vmap = VulnerabilityMap(scheme=spec.victim.scheme,
+                            workload=spec.victim.workload, seed=spec.seed)
+    for outcome in campaign.outcomes:
+        fault = outcome.params["fault"]
+        if outcome.baseline is None:
+            raise FaultSimError(
+                f"golden reference failed: "
+                f"{campaign.baselines[0].error or 'missing baseline'}")
+        vmap.add(fault,
+                 classify(outcome.result, outcome.baseline, outcome.error),
+                 error=outcome.error)
+    return FaultCampaign(spec=spec, map=vmap, campaign=campaign)
+
+
+def scheme_comparison(workload: str = "crc16",
+                      schemes: Sequence[str] = ("nvp", "gecko"),
+                      models: Sequence[str] = FAULT_MODELS,
+                      points: int = DEFAULT_POINTS, seed: int = 0,
+                      duration_s: float = 0.25, workers: int = 1,
+                      runner: Optional[CampaignRunner] = None
+                      ) -> Dict[str, FaultCampaign]:
+    """The §VII-B3 experiment shape: one map per scheme, shared cache."""
+    runner = runner or CampaignRunner(workers=workers)
+    campaigns: Dict[str, FaultCampaign] = {}
+    for scheme in schemes:
+        spec = FaultCampaignSpec(
+            victim=fault_victim(workload=workload, scheme=scheme,
+                                duration_s=duration_s),
+            models=tuple(models), points=points, seed=seed,
+            name=f"faultsim-{scheme}",
+        )
+        campaigns[scheme] = run_fault_campaign(spec, runner=runner)
+    return campaigns

@@ -75,6 +75,16 @@ class GeckoRuntime:
     def in_probe(self) -> bool:
         return self._probing and not self._probe_failed
 
+    @property
+    def fault_hook(self):
+        """Checkpoint-fault hook, forwarded to the inner JIT protocol so
+        injected image corruption lands on the same code path as NVP's."""
+        return self._jit.fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        self._jit.fault_hook = hook
+
     # -- simulator interface -------------------------------------------
     def monitor_enabled(self, machine: Machine) -> bool:
         """The attack surface: open under JIT, or transiently while probing."""

@@ -91,6 +91,11 @@ class Machine:
         self._addr_cache: Dict[str, int] = {
             name: base for name, (base, _) in program.symtab.items()
         }
+        #: Fault-injection hook (:mod:`repro.faultsim`).  When set, its
+        #: ``before_step(machine)`` runs before each instruction and may
+        #: mutate architectural state; returning True skips the fetched
+        #: instruction entirely (Moro et al.'s instruction-skip model).
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     # Memory helpers.
@@ -176,6 +181,15 @@ class Machine:
             return 0
         if not 0 <= self.pc < len(self.program.instrs):
             raise MachineFault(f"program counter out of range: {self.pc}")
+        if self.fault_hook is not None and self.fault_hook.before_step(self):
+            # Instruction skip: fetched and charged, no architectural
+            # effect; control falls through to pc+1 regardless of opcode.
+            instr = self.program.instrs[self.pc]
+            self.pc += 1
+            cost = instr.cycles
+            self.cycles += cost
+            self.instr_count += 1
+            return cost
         instr = self.program.instrs[self.pc]
         target = self.program.targets[self.pc]
         op = instr.op

@@ -48,6 +48,11 @@ class NVPRuntime:
 
     def __init__(self) -> None:
         self.stats = RuntimeStats()
+        #: Fault-injection hook (:mod:`repro.faultsim`).  When set, its
+        #: ``on_checkpoint(writes, budget)`` may corrupt or truncate the
+        #: checkpoint image as it is being written — the in-flight
+        #: corruption mechanism of the paper's ``V_fail`` attack.
+        self.fault_hook = None
 
     # -- simulator interface -------------------------------------------
     def monitor_enabled(self, machine: Machine) -> bool:
@@ -115,6 +120,8 @@ class NVPRuntime:
         writes.append(("__jit_ack", 0, 1 - (machine.read_word("__jit_ack") & 1)))
 
         budget = int(energy_cycles // _ST)
+        if self.fault_hook is not None:
+            writes, budget = self.fault_hook.on_checkpoint(writes, budget)
         consumed = 0
         for count, (sym, off, value) in enumerate(writes):
             if count >= budget:

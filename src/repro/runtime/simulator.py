@@ -136,7 +136,8 @@ class IntermittentSimulator:
                  device_profile: Optional[DeviceProfile] = None,
                  monitor_kind: str = "adc",
                  config: Optional[SimConfig] = None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 fault_injector=None) -> None:
         self.machine = machine
         self.runtime = runtime
         self.power = power
@@ -152,6 +153,11 @@ class IntermittentSimulator:
         self.t = 0.0
         self._sleep_until = 0.0
         self._init_image = list(machine.mem)
+        #: Fault injector (:mod:`repro.faultsim`): wires itself into the
+        #: machine/runtime hook points and filters monitor events.
+        self.fault = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach(self)
 
     # ------------------------------------------------------------------
     def _attack_at(self, t: float) -> Tuple[float, float, float]:
@@ -282,6 +288,10 @@ class IntermittentSimulator:
         amplitude, freq, _ = self._attack_at(self.t)
         event = self.monitor.sample(self.power.voltage, amplitude, freq,
                                     self.t, powered)
+        if self.fault is not None:
+            # Injected monitor faults obey the same surface the EMI attack
+            # does: a disabled monitor never reaches this point.
+            event = self.fault.filter_monitor_event(event, powered, self.t)
         if powered and event is MonitorEvent.CHECKPOINT:
             budget = self.power.checkpoint_budget_cycles()
             failures_before = self.runtime.stats.jit_checkpoint_failures
@@ -356,11 +366,21 @@ class IntermittentSimulator:
         # detector compares across reboots: wiping it with the application
         # image would erase the evidence of progress and fake an attack.
         for name in ("__mode", "__boots", "__ack_seen", "__done_seen",
-                     "__jit_ack", "__region_done"):
+                     "__region_done"):
             preserve[name] = machine.read_word(name)
+        # The JIT checkpoint area (__jit_valid, __jit_ack, __jit_regs, ...)
+        # is device NVM, not application data: on hardware it survives the
+        # app's outer loop untouched, and a stale-but-valid image there is
+        # exactly what a later interrupted checkpoint partially overwrites.
+        spans = {}
+        for name, (base, size) in machine.program.symtab.items():
+            if name.startswith("__jit_"):
+                spans[base] = machine.mem[base:base + size]
         machine.mem[:] = self._init_image
         for name, value in preserve.items():
             machine.write_word(name, 0, value)
+        for base, words in spans.items():
+            machine.mem[base:base + len(words)] = words
         machine.halted = False
         machine.regs = [0] * len(machine.regs)
         machine.pc = machine.program.entry_pc

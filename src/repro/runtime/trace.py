@@ -32,12 +32,18 @@ class Tracer:
     max_samples: int = 100_000
     samples: List[Tuple[float, float, str]] = field(default_factory=list)
     events: List[TraceEvent] = field(default_factory=list)
+    #: True once samples were dropped because ``max_samples`` was reached.
+    #: Queries over a truncated trace see only the window's beginning.
+    truncated: bool = False
     _next_sample: float = 0.0
 
     # -- recording ------------------------------------------------------
     def sample(self, t: float, voltage: float, state: str) -> None:
         """Record (t, V, device state), rate-limited to the sample period."""
-        if t < self._next_sample or len(self.samples) >= self.max_samples:
+        if t < self._next_sample:
+            return
+        if len(self.samples) >= self.max_samples:
+            self.truncated = True
             return
         self.samples.append((t, voltage, state))
         self._next_sample = t + self.sample_period_s
@@ -126,6 +132,9 @@ class Tracer:
         lines = ["".join(row) for row in grid]
         lines.append("".join(state_row))
         lines.append("".join(event_row))
-        lines.append(f"t: {t0*1000:.1f}ms .. {t1*1000:.1f}ms   "
-                     f"V: {v_min:.1f}..{v_max:.1f}")
+        footer = (f"t: {t0*1000:.1f}ms .. {t1*1000:.1f}ms   "
+                  f"V: {v_min:.1f}..{v_max:.1f}")
+        if self.truncated:
+            footer += f"   [TRUNCATED at {self.max_samples} samples]"
+        lines.append(footer)
         return "\n".join(lines)

@@ -7,6 +7,7 @@ import pytest
 from repro.analog import ADCMonitor, ComparatorMonitor, MonitorEvent, make_monitor
 from repro.emi import (
     AttackSchedule,
+    AttackWindow,
     DEVICES,
     DPIPath,
     EMISource,
@@ -196,3 +197,50 @@ class TestAttackSchedule:
     def test_source_str(self):
         assert str(EMISource(27e6, 35)) == "27MHz@35dBm"
         assert "GHz" in str(EMISource(2.4e9, 10))
+
+    def test_unsorted_construction_is_sorted(self):
+        source = EMISource(27e6, 35)
+        schedule = AttackSchedule(
+            [AttackWindow(3.0, 4.0, source), AttackWindow(1.0, 2.0, source)])
+        assert [w.start_s for w in schedule.windows] == [1.0, 3.0]
+        assert schedule.source_at(1.5) is not None
+        assert schedule.source_at(2.5) is None
+        assert schedule.source_at(3.5) is not None
+
+    def test_add_keeps_sorted_lookup_consistent(self):
+        source = EMISource(27e6, 35)
+        schedule = AttackSchedule.from_intervals([(4.0, 5.0)], source)
+        schedule.add(1.0, 2.0, source)
+        assert schedule.source_at(1.5) is not None
+        assert schedule.source_at(3.0) is None
+        assert schedule.source_at(4.5) is not None
+
+    def test_overlapping_windows_latest_start_wins(self):
+        outer, burst = EMISource(27e6, 35), EMISource(100e6, 10)
+        schedule = AttackSchedule.always(outer)
+        schedule.add(5.0, 6.0, burst)
+        assert schedule.source_at(5.5) is burst
+        # Outside the burst the outer window is still found.
+        assert schedule.source_at(7.0) is outer
+
+    def test_lookup_is_logarithmic_not_linear(self):
+        """source_at on a 10k-window schedule must bisect, not scan:
+        count active_at probes across many lookups."""
+        calls = {"n": 0}
+
+        class CountingWindow(AttackWindow):
+            def active_at(self, t):
+                calls["n"] += 1
+                return super().active_at(t)
+
+        source = EMISource(27e6, 35)
+        windows = [CountingWindow(i * 1.0, i * 1.0 + 0.5, source)
+                   for i in range(10_000)]
+        schedule = AttackSchedule(list(windows))
+        for i in range(100):
+            t = (i * 97) % 10_000 + 0.25
+            assert schedule.source_at(t) is source
+        assert schedule.source_at(10_001.0) is None
+        # A linear scan would probe ~500k windows here; bisect probes one
+        # (plus the bounded leftward check) per lookup.
+        assert calls["n"] <= 300

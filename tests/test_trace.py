@@ -29,6 +29,21 @@ class TestTracerUnit:
             tracer.sample(i * 0.001, 3.0, "running")
         assert len(tracer.samples) <= 11
 
+    def test_truncation_is_flagged_not_silent(self):
+        tracer = Tracer(sample_period_s=0.0, max_samples=5)
+        for i in range(10):
+            tracer.sample(i * 0.001, 3.0, "running")
+        assert len(tracer.samples) == 5
+        assert tracer.truncated
+        assert "TRUNCATED" in tracer.render()
+
+    def test_no_truncation_flag_under_the_cap(self):
+        tracer = Tracer(sample_period_s=0.0, max_samples=5)
+        for i in range(5):
+            tracer.sample(i * 0.001, 3.0, "running")
+        assert not tracer.truncated
+        assert "TRUNCATED" not in tracer.render()
+
     def test_event_queries(self):
         tracer = Tracer()
         tracer.event(0.1, "reboot")
