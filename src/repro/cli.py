@@ -9,7 +9,14 @@ Installed as ``repro-gecko`` (see pyproject) and runnable as
   (``--dump`` prints the final assembly);
 * ``run      <prog>``       — execute on stable power, print the output;
 * ``simulate <prog>``       — intermittent simulation with a chosen
-  harvester, optional EMI attack, and an optional ASCII trace;
+  harvester, optional EMI attack, an optional ASCII trace, and
+  ``--trace-out`` for a Perfetto timeline of the same run;
+* ``trace    <prog>``       — simulate and export the run as a
+  Perfetto/Chrome trace (open at https://ui.perfetto.dev) plus an
+  optional JSONL event log;
+* ``profile  <prog>``       — simulate under the profiler and print
+  wall-time per phase, simulated cycles per opcode class, and the
+  busiest metrics;
 * ``sweep``                 — frequency-sweep one device/monitor pair;
 * ``campaign <prog>``       — declarative sweep campaign over frequency
   (and optionally distance) with ``--workers`` parallelism, compile
@@ -71,6 +78,23 @@ def _add_program_args(parser: argparse.ArgumentParser) -> None:
                         help="crash-consistency compilation scheme")
     parser.add_argument("--budget", type=int, default=None,
                         help="region power-on budget in cycles (gecko only)")
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    """The shared simulate/trace/profile simulation knobs."""
+    parser.add_argument("--duration", type=float, default=0.2,
+                        help="simulated seconds")
+    parser.add_argument("--harvester", default="outage",
+                        choices=["bench", "outage", "weak", "rf"])
+    parser.add_argument("--capacitor", type=float, default=22.0,
+                        help="capacitance in microfarads")
+    parser.add_argument("--attack", default=None, metavar="MHZ,DBM",
+                        help="continuous tone, e.g. 27,35")
+    parser.add_argument("--distance", type=float, default=5.0,
+                        help="attacker distance in meters")
+    parser.add_argument("--device", default="TI-MSP430FR5994",
+                        choices=device_names())
+    parser.add_argument("--monitor", default="adc", choices=["adc", "comp"])
 
 
 def _compile(args) -> object:
@@ -146,31 +170,48 @@ def _build_power(args) -> PowerSystem:
     return PowerSystem(capacitor=capacitor, harvester=harvester)
 
 
-def cmd_simulate(args) -> int:
-    program = _compile(args)
-    power = _build_power(args)
-    attack = AttackSchedule.silent()
-    if args.attack:
-        try:
-            freq_text, dbm_text = args.attack.split(",")
-            attack = AttackSchedule.always(
-                EMISource(float(freq_text) * 1e6, float(dbm_text))
-            )
-        except ValueError:
-            raise SystemExit("error: --attack expects MHZ,DBM (e.g. 27,35)")
-    tracer = Tracer(sample_period_s=args.duration / 400) if args.trace \
-        else None
-    sim = IntermittentSimulator(
+def _parse_attack(text: Optional[str]) -> AttackSchedule:
+    if not text:
+        return AttackSchedule.silent()
+    try:
+        freq_text, dbm_text = text.split(",")
+        return AttackSchedule.always(
+            EMISource(float(freq_text) * 1e6, float(dbm_text))
+        )
+    except ValueError:
+        raise SystemExit("error: --attack expects MHZ,DBM (e.g. 27,35)")
+
+
+def _build_sim(args, program, tracer=None, obs=None) -> IntermittentSimulator:
+    """One simulator from the shared simulate/trace/profile arguments."""
+    return IntermittentSimulator(
         machine=Machine(program.linked),
         runtime=runtime_for(program),
-        power=power,
-        attack=attack,
+        power=_build_power(args),
+        attack=_parse_attack(args.attack),
         path=RemotePath(distance_m=args.distance),
         device_profile=device(args.device),
         monitor_kind=args.monitor,
         config=SimConfig(quantum=64, sleep_min_s=1e-3),
         tracer=tracer,
+        obs=obs,
     )
+
+
+def _thresholds(power) -> dict:
+    return {"V_off": power.v_off, "V_backup": power.v_backup,
+            "V_on": power.v_on}
+
+
+def cmd_simulate(args) -> int:
+    from .obs import Observability, write_perfetto
+
+    program = _compile(args)
+    tracer = Tracer(sample_period_s=args.duration / 400) if args.trace \
+        else None
+    obs = Observability.for_tracing() if args.trace_out else None
+    sim = _build_sim(args, program, tracer=tracer, obs=obs)
+    power = sim.power
     result = sim.run(args.duration)
     print(f"completions:          {result.completions}")
     print(f"reboots:              {result.reboots}  "
@@ -189,6 +230,58 @@ def cmd_simulate(args) -> int:
             v_min=power.v_off - 0.2,
             v_max=power.capacitor.v_max + 0.1,
         ))
+    if args.trace_out:
+        write_perfetto(args.trace_out, sim.obs.bus,
+                       trace_name=f"{args.program}:{args.scheme}",
+                       thresholds=_thresholds(power))
+        print(f"wrote {args.trace_out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs import Observability, validate_perfetto, write_jsonl, \
+        write_perfetto
+
+    program = _compile(args)
+    obs = Observability.for_tracing()
+    sim = _build_sim(args, program, obs=obs)
+    result = sim.run(args.duration)
+    trace = write_perfetto(args.out, obs.bus,
+                           trace_name=f"{args.program}:{args.scheme}",
+                           thresholds=_thresholds(sim.power))
+    validate_perfetto(trace)
+    counts = obs.bus.kind_counts()
+    print(f"simulated {result.duration_s:.3f} s; final state "
+          f"{result.final_state}")
+    print(f"wrote {args.out}: {len(trace['traceEvents'])} trace events "
+          f"({len(obs.bus.samples)} voltage samples)")
+    for kind in sorted(counts):
+        print(f"  {kind}: {counts[kind]}")
+    if args.events_out:
+        lines = write_jsonl(args.events_out, obs.bus.events)
+        print(f"wrote {args.events_out}: {lines} events")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import Observability
+
+    program = _compile(args)
+    obs = Observability.for_profiling()
+    sim = _build_sim(args, program, obs=obs)
+    result = sim.run(args.duration)
+    print(f"simulated {result.duration_s:.3f} s; final state "
+          f"{result.final_state}; completions {result.completions}")
+    print()
+    print(obs.profiler.render())
+    top = sorted(obs.metrics.as_dict().items(),
+                 key=lambda item: -abs(item[1]))[:args.top]
+    if top:
+        width = max(len(name) for name, _ in top)
+        print()
+        print("busiest metrics:")
+        for name, value in top:
+            print(f"  {name:<{width}}  {value:g}")
     return 0
 
 
@@ -362,22 +455,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="intermittent simulation")
     _add_program_args(p)
-    p.add_argument("--duration", type=float, default=0.2,
-                   help="simulated seconds")
-    p.add_argument("--harvester", default="outage",
-                   choices=["bench", "outage", "weak", "rf"])
-    p.add_argument("--capacitor", type=float, default=22.0,
-                   help="capacitance in microfarads")
-    p.add_argument("--attack", default=None, metavar="MHZ,DBM",
-                   help="continuous tone, e.g. 27,35")
-    p.add_argument("--distance", type=float, default=5.0,
-                   help="attacker distance in meters")
-    p.add_argument("--device", default="TI-MSP430FR5994",
-                   choices=device_names())
-    p.add_argument("--monitor", default="adc", choices=["adc", "comp"])
+    _add_sim_args(p)
     p.add_argument("--trace", action="store_true",
                    help="render an ASCII voltage/event trace")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Perfetto/Chrome trace of the run here")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("trace",
+                       help="simulate and export a Perfetto timeline")
+    _add_program_args(p)
+    _add_sim_args(p)
+    p.add_argument("--out", default="trace.json", metavar="PATH",
+                   help="Perfetto/Chrome trace output path")
+    p.add_argument("--events-out", default=None, metavar="PATH",
+                   help="also write the event log as JSONL here")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("profile",
+                       help="simulate under the profiler and report")
+    _add_program_args(p)
+    _add_sim_args(p)
+    p.add_argument("--top", type=int, default=10,
+                   help="metrics to list in the busiest-metrics table")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("sweep", help="frequency-sweep a device")
     p.add_argument("--device", default="TI-MSP430FR5994",

@@ -59,6 +59,20 @@ class PowerSystem:
             raise ValueError(
                 "thresholds must satisfy v_off < v_backup < v_on <= v_max"
             )
+        # Observability: counters resolved once at attach so the per-call
+        # cost is a single identity check when telemetry is off.
+        self._m_harvested = None
+        self._m_active = None
+        self._m_sleep = None
+
+    def attach_obs(self, obs) -> None:
+        """Wire energy-ledger counters into an observability bundle."""
+        if obs.metrics.enabled:
+            self._m_harvested = obs.metrics.counter("energy.harvested_j")
+            self._m_active = obs.metrics.counter("energy.consumed_j",
+                                                 mode="active")
+            self._m_sleep = obs.metrics.counter("energy.consumed_j",
+                                                mode="sleep")
 
     # ------------------------------------------------------------------
     @property
@@ -75,15 +89,23 @@ class PowerSystem:
         power = self.harvester.power_at(t) + extra_power_w
         stored = self.capacitor.charge(power, dt)
         self.capacitor.leak(dt)
+        if self._m_harvested is not None:
+            self._m_harvested.inc(stored)
         return stored
 
     def consume_cycles(self, cycles: float) -> float:
         """Drain the energy of ``cycles`` of active execution."""
-        return self.capacitor.discharge(cycles * self.mcu.energy_per_cycle)
+        drained = self.capacitor.discharge(cycles * self.mcu.energy_per_cycle)
+        if self._m_active is not None:
+            self._m_active.inc(drained)
+        return drained
 
     def consume_sleep(self, dt: float) -> float:
         """Drain sleep current over ``dt`` seconds."""
-        return self.capacitor.discharge(self.mcu.sleep_power_w * dt)
+        drained = self.capacitor.discharge(self.mcu.sleep_power_w * dt)
+        if self._m_sleep is not None:
+            self._m_sleep.inc(drained)
+        return drained
 
     # ------------------------------------------------------------------
     def cycles_until(self, v_floor: float) -> float:

@@ -29,6 +29,7 @@ and 41 attacked runs, instead of 41 of each::
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import itertools
 import json
 import multiprocessing
@@ -38,6 +39,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..emi import AttackSchedule, DPIPath, EMISource, RemotePath
 from ..errors import ReproError
+from ..obs import Observability, merge_flat
 from ..runtime import IntermittentSimulator, Machine, SimResult, runtime_for
 from .common import REMOTE_DISTANCE_M, REMOTE_TX_DBM, VictimConfig
 
@@ -159,6 +161,10 @@ class RunSpec:
     #: Optional fault injection (a :class:`~repro.faultsim.FaultSpec`);
     #: the worker builds the injector, so grid points stay picklable.
     fault: Any = None
+    #: Attach a deterministic :class:`~repro.obs.Observability` bundle to
+    #: the run; its metrics travel back inside :attr:`SimResult.metrics`,
+    #: so serial and pooled executions aggregate identically.
+    telemetry: bool = False
 
     @property
     def duration(self) -> float:
@@ -172,7 +178,7 @@ class RunSpec:
         """Everything the silent baseline depends on — not the attack."""
         return (self.victim.cache_key(), _key_of(self.path), self.duration,
                 self.sim_overrides, self.mode, self.target_completions,
-                self.batch_window_s, self.max_sim_s)
+                self.batch_window_s, self.max_sim_s, self.telemetry)
 
     def silenced(self) -> "RunSpec":
         """The golden reference point: no attack, no injected fault."""
@@ -187,6 +193,7 @@ def execute_run(run: RunSpec, compiled) -> SimResult:
     if run.fault is not None:
         from ..faultsim.injector import FaultInjector  # avoid import cycle
         injector = FaultInjector.from_spec(run.fault)
+    obs = Observability.for_telemetry() if run.telemetry else None
     sim = IntermittentSimulator(
         machine=Machine(compiled.linked),
         runtime=runtime_for(compiled),
@@ -197,6 +204,7 @@ def execute_run(run: RunSpec, compiled) -> SimResult:
         monitor_kind=victim.monitor_kind,
         config=victim.sim_config(**dict(run.sim_overrides)),
         fault_injector=injector,
+        obs=obs,
     )
     if run.mode == "batch":
         return _run_batch(sim, run)
@@ -234,6 +242,12 @@ def _merge_window(total: SimResult, window: SimResult) -> None:
     total.rollback_restores = window.rollback_restores
     total.marks_committed = window.marks_committed
     total.final_state = window.final_state
+    # The simulator snapshots metrics/events cumulatively at the end of
+    # every window, so the latest window carries the whole history.
+    if window.metrics:
+        total.metrics = window.metrics
+    if window.events:
+        total.events = window.events
     if window.machine_fault:
         total.machine_fault = window.machine_fault
 
@@ -274,6 +288,8 @@ class ExperimentSpec:
     batch_window_s: float = 0.05
     max_sim_s: float = 20.0
     fault: Any = None
+    #: Attach per-run observability metrics (see :attr:`RunSpec.telemetry`).
+    telemetry: bool = False
 
     def expand(self) -> List[Tuple[Dict[str, Any], RunSpec]]:
         """The (params, run) grid, in cartesian-product order."""
@@ -321,7 +337,7 @@ class ExperimentSpec:
             sim_overrides=tuple(sorted(overrides.items())),
             mode=self.mode, target_completions=self.target_completions,
             batch_window_s=self.batch_window_s, max_sim_s=self.max_sim_s,
-            fault=fault,
+            fault=fault, telemetry=self.telemetry,
         )
 
 
@@ -398,6 +414,25 @@ class CampaignResult:
 
     def failures(self) -> List[RunOutcome]:
         return [o for o in self.outcomes + self.baselines if o.error]
+
+    def aggregate_metrics(self) -> Dict[str, Any]:
+        """Campaign-level telemetry: every outcome's flat metrics summed.
+
+        Aggregation is in outcome order over data that travelled inside
+        the (picklable) results, so a serial run and a pooled run of the
+        same spec produce identical dictionaries.
+        """
+        total: Dict[str, Any] = {}
+        for outcome in self.baselines + self.outcomes:
+            if outcome.result is not None and outcome.result.metrics:
+                merge_flat(total, outcome.result.metrics)
+        return total
+
+    def metrics_fingerprint(self) -> str:
+        """sha256 over the canonical JSON of :meth:`aggregate_metrics`."""
+        canonical = json.dumps(self.aggregate_metrics(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     def to_dict(self) -> dict:
         return {

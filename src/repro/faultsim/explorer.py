@@ -55,6 +55,9 @@ from .report import VulnerabilityMap
 #: Injections per fault model in a default exhaustive sweep.
 DEFAULT_POINTS = 50
 
+#: Bus events kept per injection record (the "what led up to it" excerpt).
+EXCERPT_EVENTS = 12
+
 #: Stable-power profiling stop: no bundled workload iteration comes close.
 _PROFILE_STEP_CAP = 500_000
 
@@ -186,6 +189,7 @@ class FaultCampaignSpec:
             path=PathSpec.remote(),
             sweep={"fault": plan},
             baseline=True,
+            telemetry=True,
         )
 
 
@@ -231,9 +235,11 @@ def run_fault_campaign(spec: FaultCampaignSpec, workers: int = 1,
             raise FaultSimError(
                 f"golden reference failed: "
                 f"{campaign.baselines[0].error or 'missing baseline'}")
+        events = outcome.result.events[-EXCERPT_EVENTS:] \
+            if outcome.result is not None else []
         vmap.add(fault,
                  classify(outcome.result, outcome.baseline, outcome.error),
-                 error=outcome.error)
+                 error=outcome.error, events=events)
     return FaultCampaign(spec=spec, map=vmap, campaign=campaign)
 
 

@@ -15,6 +15,7 @@ from typing import List, Tuple
 
 from ..analog.monitor import MonitorEvent
 from ..isa.operands import MASK32, NUM_REGS, wrap32
+from ..obs import FAULT_INJECTED
 from .models import (
     CKPT_CORRUPT,
     CKPT_MODELS,
@@ -60,6 +61,13 @@ class FaultInjector:
         # SIGNAL_MODELS need no wiring: the simulator routes every monitor
         # event through filter_monitor_event itself.
 
+    def _note_fired(self, detail: str) -> None:
+        """Publish the injection on the simulation's event bus, if any —
+        the excerpt fault reports quote to explain an sdc/brick outcome."""
+        obs = getattr(self._sim, "obs", None)
+        if obs is not None:
+            obs.emit(FAULT_INJECTED, f"model={self.spec.model} {detail}")
+
     # -- Machine hook ---------------------------------------------------
     def before_step(self, machine) -> bool:
         """Fire a step-triggered fault; True means skip this instruction."""
@@ -70,7 +78,9 @@ class FaultInjector:
             index = self.spec.target % NUM_REGS
             flipped = (machine.regs[index] & MASK32) ^ (1 << (self.spec.bit % 32))
             machine.regs[index] = wrap32(flipped)
+            self._note_fired(f"reg=R{index} bit={self.spec.bit % 32}")
             return False
+        self._note_fired(f"step={machine.instr_count}")
         return True  # INSTR_SKIP
 
     # -- NVPRuntime hook ------------------------------------------------
@@ -92,13 +102,16 @@ class FaultInjector:
         if image_words <= 0:
             return writes, budget
         if spec.model == CKPT_TRUNCATE:
-            return writes, min(budget, spec.target % image_words)
+            cut = spec.target % image_words
+            self._note_fired(f"cut={cut}")
+            return writes, min(budget, cut)
         # CKPT_CORRUPT: one bad store lands, then the backup dies.
         index = spec.target % image_words
         sym, off, value = writes[index]
         corrupted = wrap32((value & MASK32) ^ (1 << (spec.bit % 32)))
         writes = list(writes)
         writes[index] = (sym, off, corrupted)
+        self._note_fired(f"word={index} bit={spec.bit % 32}")
         return writes, min(budget, image_words)
 
     # -- simulator (monitor) hook ---------------------------------------
@@ -112,10 +125,13 @@ class FaultInjector:
         if spec.model == SIGNAL_DROP:
             if event is not MonitorEvent.NONE:
                 self.fired = True
+                self._note_fired(f"dropped={event.name.lower()}")
                 return MonitorEvent.NONE
             return event
         # SIGNAL_SPURIOUS: forge the signal that matters in this state.
         if event is MonitorEvent.NONE:
             self.fired = True
-            return MonitorEvent.CHECKPOINT if powered else MonitorEvent.WAKE
+            forged = MonitorEvent.CHECKPOINT if powered else MonitorEvent.WAKE
+            self._note_fired(f"forged={forged.name.lower()}")
+            return forged
         return event

@@ -35,17 +35,23 @@ class InjectionRecord:
     fault: FaultSpec
     outcome: str
     error: Optional[str] = None
+    #: The last bus events before the run ended (JSON-safe dicts from
+    #: :attr:`SimResult.events`) — the excerpt that explains *why* an
+    #: injection became an sdc/brick.  Empty when telemetry was off.
+    events: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {"fault": self.fault.to_dict(),
                 "outcome": _outcome_key(self.outcome),
-                "error": self.error}
+                "error": self.error,
+                "events": self.events}
 
     @classmethod
     def from_dict(cls, data: dict) -> "InjectionRecord":
         return cls(fault=FaultSpec.from_dict(data["fault"]),
                    outcome=data["outcome"],
-                   error=data.get("error"))
+                   error=data.get("error"),
+                   events=[dict(e) for e in data.get("events", [])])
 
 
 @dataclass
@@ -59,9 +65,11 @@ class VulnerabilityMap:
 
     # -- building -------------------------------------------------------
     def add(self, fault: FaultSpec, outcome: Outcome,
-            error: Optional[str] = None) -> None:
+            error: Optional[str] = None,
+            events: Optional[List[dict]] = None) -> None:
         self.records.append(
-            InjectionRecord(fault=fault, outcome=outcome, error=error))
+            InjectionRecord(fault=fault, outcome=outcome, error=error,
+                            events=list(events) if events else []))
 
     def merge(self, other: "VulnerabilityMap") -> None:
         """Fold another campaign's records in (same scheme + workload)."""
@@ -99,6 +107,14 @@ class VulnerabilityMap:
     def corruption_count(self, model: Optional[str] = None) -> int:
         """SDC-or-brick injections — the paper's failure criterion."""
         return self.count(*CORRUPTION_OUTCOMES, model=model)
+
+    def failure_excerpts(self, last: int = 8
+                         ) -> List[Tuple[InjectionRecord, List[dict]]]:
+        """Each corrupting injection with its final ``last`` bus events —
+        the per-fault narrative behind the histogram cells."""
+        wanted = {_outcome_key(o) for o in CORRUPTION_OUTCOMES}
+        return [(record, record.events[-last:]) for record in self.records
+                if _outcome_key(record.outcome) in wanted and record.events]
 
     def cells(self) -> List[Tuple[str, str, Dict[str, int]]]:
         """(model, region, histogram) rows in canonical order."""

@@ -1,0 +1,176 @@
+"""Typed, timestamped structured events and the bus that carries them.
+
+The :class:`EventBus` is the spine of the observability subsystem: every
+layer of the simulator — the machine, the crash-consistency runtimes, the
+power system, the fault injector, the whole-system simulator — publishes
+:class:`Event` records to one bus instead of each harness re-plumbing its
+own counters.  Subscribers (the ASCII :class:`~repro.runtime.trace.Tracer`,
+exporters, tests) receive events as they happen; a bounded ring buffer
+retains the most recent events for post-hoc queries, so a campaign worker
+can ship "the last N events before the outcome" without unbounded memory.
+
+Continuous signals (the capacitor-voltage timeline, with the device state
+at each sample) travel on a separate sample channel with its own ring, so
+a long voltage trace can never evict the discrete events it explains.
+
+The bus is designed to disappear when unused: ``enabled=False`` (or simply
+not attaching a bus at all — every instrumentation site is guarded by an
+``is not None`` check) reduces :meth:`EventBus.emit` to a single attribute
+test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Event taxonomy.  One flat vocabulary shared by every producer; the
+# docstring table in docs/observability.md is generated from this intent.
+# ----------------------------------------------------------------------
+#: Idempotent-region boundary committed (Machine MARK).
+REGION_COMMIT = "region_commit"
+#: JIT checkpoint protocol started (budget in detail).
+CHECKPOINT_BEGIN = "checkpoint_begin"
+#: JIT checkpoint committed (validity flag + ACK landed).
+CHECKPOINT_OK = "checkpoint"
+#: JIT checkpoint ran out of energy before the commit markers.
+CHECKPOINT_FAILED = "checkpoint_failed"
+#: Voltage monitor raised a signal (detail: "checkpoint" or "wake").
+MONITOR_TRIP = "monitor_trip"
+#: Device rebooted (power-on reset or honoured wake signal).
+REBOOT = "reboot"
+#: Supply sank below V_off while running.
+BROWNOUT = "brownout"
+#: EMI attack tone became active at the victim.
+EMI_ON = "emi_on"
+#: EMI attack tone ceased.
+EMI_OFF = "emi_off"
+#: A fault-injection campaign delivered its fault.
+FAULT_INJECTED = "fault_injected"
+#: Runtime detected an attack (ACK or region-completion detector).
+DETECTION = "detection"
+#: GECKO switched between JIT and rollback modes.
+MODE_SWITCH = "mode_switch"
+#: Rollback recovery executed a restore plan.
+ROLLBACK_RESTORE = "rollback_restore"
+#: JIT checkpoint image restored into volatile state.
+JIT_RESTORE = "jit_restore"
+#: Application iteration committed its final output.
+COMPLETION = "completion"
+#: The machine trapped (MachineFault); device is bricked.
+FAULT = "fault"
+
+#: Every event kind, in a stable documentation order.
+EVENT_KINDS = (
+    REGION_COMMIT, CHECKPOINT_BEGIN, CHECKPOINT_OK, CHECKPOINT_FAILED,
+    MONITOR_TRIP, REBOOT, BROWNOUT, EMI_ON, EMI_OFF, FAULT_INJECTED,
+    DETECTION, MODE_SWITCH, ROLLBACK_RESTORE, JIT_RESTORE, COMPLETION,
+    FAULT,
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One discrete occurrence at a simulated instant."""
+
+    t: float
+    kind: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"t": self.t, "kind": self.kind, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        return cls(t=data["t"], kind=data["kind"],
+                   detail=data.get("detail", ""))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One point of the continuous (voltage, device-state) timeline."""
+
+    t: float
+    voltage: float
+    state: str
+
+    def to_dict(self) -> dict:
+        return {"t": self.t, "voltage": self.voltage, "state": self.state}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Sample":
+        return cls(t=data["t"], voltage=data["voltage"], state=data["state"])
+
+
+class EventBus:
+    """Publish/subscribe event fan-out with bounded ring retention.
+
+    ``ring``/``sample_ring`` bound the retained history; subscribers see
+    every event regardless of retention (the ring is for post-hoc tails,
+    the subscriptions are the live path).
+    """
+
+    def __init__(self, enabled: bool = True, ring: int = 4096,
+                 sample_ring: int = 65536) -> None:
+        self.enabled = enabled
+        self.events: Deque[Event] = deque(maxlen=ring)
+        self.samples: Deque[Sample] = deque(maxlen=sample_ring)
+        self._subs: List[Tuple[Callable[[Event], None],
+                               Optional[frozenset]]] = []
+        self._sample_subs: List[Callable[[Sample], None]] = []
+
+    # -- publishing -----------------------------------------------------
+    def emit(self, t: float, kind: str, detail: str = "") -> None:
+        """Publish one event (no-op when the bus is disabled)."""
+        if not self.enabled:
+            return
+        event = Event(t=t, kind=kind, detail=detail)
+        self.events.append(event)
+        for fn, kinds in self._subs:
+            if kinds is None or kind in kinds:
+                fn(event)
+
+    def sample(self, t: float, voltage: float, state: str) -> None:
+        """Publish one continuous-timeline point."""
+        if not self.enabled:
+            return
+        point = Sample(t=t, voltage=voltage, state=state)
+        self.samples.append(point)
+        for fn in self._sample_subs:
+            fn(point)
+
+    # -- subscription ---------------------------------------------------
+    def subscribe(self, fn: Callable[[Event], None],
+                  kinds: Optional[Iterable[str]] = None) -> None:
+        """Receive every event, or only the given kinds."""
+        self._subs.append((fn, frozenset(kinds) if kinds is not None
+                           else None))
+
+    def subscribe_samples(self, fn: Callable[[Sample], None]) -> None:
+        self._sample_subs.append(fn)
+
+    # -- queries --------------------------------------------------------
+    def tail(self, n: int = 32) -> List[Event]:
+        """The most recent ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.events)[-n:]
+
+    def events_of(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Retained-ring histogram: {kind: count}."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.samples.clear()

@@ -1,0 +1,168 @@
+"""Exporters: Perfetto/Chrome-trace timelines and JSONL event logs.
+
+The Perfetto exporter renders one simulated run the way the paper renders
+its oscilloscope screenshots (Fig. 9/13): the capacitor voltage as a
+counter track, the device state (running/sleeping/off/failed) as a lane of
+slices, and the discrete events — checkpoints, reboots, detections, EMI
+bursts, injected faults — as instants.  The output is the Chrome trace
+JSON-array format, which https://ui.perfetto.dev opens directly.
+
+The JSONL exporter is the machine-readable twin: one event per line,
+round-trippable, diffable, and streamable into any downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .events import Event, EventBus, Sample
+
+#: Simulated seconds -> trace microseconds (Chrome trace ts unit).
+_US = 1e6
+
+#: Process/thread layout of the exported trace.
+PID_DEVICE = 1
+TID_STATE = 1
+TID_EVENTS = 2
+
+
+def _meta(name: str, pid: int, tid: Optional[int] = None,
+          label: str = "") -> dict:
+    event = {"ph": "M", "name": name, "pid": pid, "ts": 0,
+             "args": {"name": label}}
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def state_slices(samples: Sequence[Sample]) -> List[dict]:
+    """Coalesce the sampled state timeline into complete ("X") slices."""
+    slices: List[dict] = []
+    if not samples:
+        return slices
+    start = samples[0]
+    last_t = start.t
+    for sample in samples[1:]:
+        last_t = sample.t
+        if sample.state != start.state:
+            slices.append({
+                "ph": "X", "name": start.state, "cat": "state",
+                "pid": PID_DEVICE, "tid": TID_STATE,
+                "ts": start.t * _US, "dur": max(0.0, (sample.t - start.t) * _US),
+            })
+            start = sample
+    slices.append({
+        "ph": "X", "name": start.state, "cat": "state",
+        "pid": PID_DEVICE, "tid": TID_STATE,
+        "ts": start.t * _US, "dur": max(0.0, (last_t - start.t) * _US),
+    })
+    return slices
+
+
+def voltage_counters(samples: Sequence[Sample],
+                     name: str = "V_cap") -> List[dict]:
+    """The capacitor voltage as a Perfetto counter track."""
+    return [{
+        "ph": "C", "name": name, "cat": "power", "pid": PID_DEVICE,
+        "ts": sample.t * _US, "args": {"V": sample.voltage},
+    } for sample in samples]
+
+
+def event_instants(events: Iterable[Event]) -> List[dict]:
+    """Discrete events as global instant markers."""
+    instants = []
+    for event in events:
+        entry = {
+            "ph": "i", "s": "g", "name": event.kind, "cat": "event",
+            "pid": PID_DEVICE, "tid": TID_EVENTS, "ts": event.t * _US,
+        }
+        if event.detail:
+            entry["args"] = {"detail": event.detail}
+        instants.append(entry)
+    return instants
+
+
+def to_perfetto(bus: EventBus, trace_name: str = "repro-gecko",
+                thresholds: Optional[Dict[str, float]] = None) -> dict:
+    """The whole bus as a Chrome-trace/Perfetto JSON object.
+
+    ``thresholds`` (e.g. ``{"V_backup": 2.6, "V_on": 3.0}``) become extra
+    constant counter tracks so the trigger levels are visible against the
+    voltage curve, like the annotated screenshots in the paper.
+    """
+    trace_events: List[dict] = [
+        _meta("process_name", PID_DEVICE, label=trace_name),
+        _meta("thread_name", PID_DEVICE, TID_STATE, "device state"),
+        _meta("thread_name", PID_DEVICE, TID_EVENTS, "events"),
+    ]
+    samples = list(bus.samples)
+    trace_events.extend(state_slices(samples))
+    trace_events.extend(voltage_counters(samples))
+    for name, level in (thresholds or {}).items():
+        for edge in (samples[0], samples[-1]) if samples else ():
+            trace_events.append({
+                "ph": "C", "name": name, "cat": "power", "pid": PID_DEVICE,
+                "ts": edge.t * _US, "args": {"V": level},
+            })
+    trace_events.extend(event_instants(bus.events))
+    # Perfetto tolerates unordered input but monotonic output makes the
+    # trace diffable and trivially schema-checkable.
+    trace_events.sort(key=lambda e: (e["ts"], e["ph"] != "M"))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(path: str, bus: EventBus,
+                   trace_name: str = "repro-gecko",
+                   thresholds: Optional[Dict[str, float]] = None) -> dict:
+    """Serialize :func:`to_perfetto` to ``path``; returns the trace dict."""
+    trace = to_perfetto(bus, trace_name=trace_name, thresholds=thresholds)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+    return trace
+
+
+def validate_perfetto(trace: dict) -> None:
+    """Minimal schema check: required fields present, timestamps monotonic.
+
+    Raises ``ValueError`` on the first violation — the CI smoke job and the
+    exporter tests call this instead of shipping a JSON-schema dependency.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace has no traceEvents list")
+    last_ts = None
+    for index, event in enumerate(events):
+        for key in ("ph", "ts", "pid", "name"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] missing {key!r}")
+        if event["ph"] == "M":
+            continue
+        if last_ts is not None and event["ts"] < last_ts:
+            raise ValueError(
+                f"traceEvents[{index}] ts {event['ts']} < previous {last_ts}")
+        last_ts = event["ts"]
+
+
+# ----------------------------------------------------------------------
+# JSONL event logs.
+# ----------------------------------------------------------------------
+def write_jsonl(path: str, events: Iterable[Event]) -> int:
+    """One JSON object per line; returns the number of lines written."""
+    count = 0
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Event]:
+    events: List[Event] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,102 @@
+"""Phase profiler: wall-time and simulated-cycle attribution.
+
+Answers "where does a simulation actually spend its time?" in the two
+currencies that matter here:
+
+* **wall time** per host-side phase (compile, the step loop, the energy
+  model, the monitor, export) via :meth:`Profiler.phase` context blocks —
+  the hot-spot map every later performance PR optimizes against;
+* **simulated cycles** per category (opcode classes like ``alu``/``mem``/
+  ``ctrl``, runtime overheads) via :meth:`Profiler.add_cycles`, so a
+  "faster" scheme can be decomposed into *which instructions* it avoided.
+
+The profiler is explicitly opt-in: instrumented hot paths hold a direct
+reference (``self._prof``) that stays ``None`` unless a profiler is both
+attached and enabled, so the disabled cost is one identity check.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+class Profiler:
+    """Accumulates wall seconds per phase and simulated cycles per category."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.wall_s: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self.cycles: Dict[str, float] = {}
+
+    # -- wall time ------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Time a host-side phase; nested phases each keep their own bin."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.wall_s[name] = self.wall_s.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def add_wall(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold externally measured time in (pre-timed inner loops)."""
+        if not self.enabled:
+            return
+        self.wall_s[name] = self.wall_s.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + calls
+
+    # -- simulated cycles ----------------------------------------------
+    def add_cycles(self, category: str, cycles: float) -> None:
+        self.cycles[category] = self.cycles.get(category, 0.0) + cycles
+
+    # -- reporting ------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "wall_s": dict(sorted(self.wall_s.items())),
+            "calls": dict(sorted(self.calls.items())),
+            "cycles": dict(sorted(self.cycles.items())),
+        }
+
+    def render(self) -> str:
+        """A two-table ASCII report: wall time by phase, cycles by class."""
+        lines = []
+        total_wall = sum(self.wall_s.values())
+        if self.wall_s:
+            lines.append(f"{'phase':<22} {'wall s':>10} {'share':>7} "
+                         f"{'calls':>9}")
+            lines.append("-" * 52)
+            for name, seconds in sorted(self.wall_s.items(),
+                                        key=lambda kv: -kv[1]):
+                share = seconds / total_wall if total_wall else 0.0
+                lines.append(f"{name:<22} {seconds:>10.4f} {share:>6.1%} "
+                             f"{self.calls.get(name, 0):>9d}")
+        total_cycles = sum(self.cycles.values())
+        if self.cycles:
+            if lines:
+                lines.append("")
+            lines.append(f"{'cycle category':<22} {'cycles':>14} {'share':>7}")
+            lines.append("-" * 45)
+            for name, cycles in sorted(self.cycles.items(),
+                                       key=lambda kv: -kv[1]):
+                share = cycles / total_cycles if total_cycles else 0.0
+                lines.append(f"{name:<22} {cycles:>14.0f} {share:>6.1%}")
+        return "\n".join(lines) if lines else "(profiler recorded nothing)"
+
+
+def maybe(profiler: Optional[Profiler]) -> Optional[Profiler]:
+    """The profiler if it is attached *and* enabled, else None.
+
+    Hot paths store this result so the disabled case costs one ``is not
+    None`` test per use site.
+    """
+    if profiler is not None and profiler.enabled:
+        return profiler
+    return None

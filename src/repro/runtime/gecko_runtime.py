@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..isa.program import LinkedProgram
+from ..obs import MODE_SWITCH, ROLLBACK_RESTORE
 from .machine import Machine
 from .nvp import NVPRuntime, RuntimeStats
 from .rollback import RollbackRuntime
@@ -60,6 +61,14 @@ class GeckoRuntime:
         self._probing = False
         self._probe_failed = False
         self._boot_cycles = 0
+        #: Observability bundle (:mod:`repro.obs`), simulator-attached.
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Share one bundle with the inner JIT protocol so checkpoint
+        begin/ok/fail events land on the same bus regardless of mode."""
+        self.obs = obs
+        self._jit.attach_obs(obs)
 
     # -- mode helpers ---------------------------------------------------
     @staticmethod
@@ -70,6 +79,9 @@ class GeckoRuntime:
         if machine.read_word("__mode") != mode:
             machine.write_word("__mode", 0, mode)
             self.stats.mode_switches += 1
+            if self.obs is not None:
+                self.obs.emit(MODE_SWITCH, "rollback->jit" if mode == MODE_JIT
+                              else "jit->rollback")
 
     @property
     def in_probe(self) -> bool:
@@ -146,6 +158,7 @@ class GeckoRuntime:
             cycles = self._rollback.rollback_restore(machine)
             self.stats.rollback_restores += 1
             self.stats.recovery_cycles += cycles
+            self._note_rollback(cycles)
             self._begin_probe(machine)
             return cycles
 
@@ -163,8 +176,15 @@ class GeckoRuntime:
         cycles = self._rollback.rollback_restore(machine)
         self.stats.rollback_restores += 1
         self.stats.recovery_cycles += cycles
+        self._note_rollback(cycles)
         self._begin_probe(machine)
         return cycles
+
+    def _note_rollback(self, cycles: int) -> None:
+        if self.obs is not None:
+            self.obs.emit(ROLLBACK_RESTORE, f"cycles={cycles}")
+            self.obs.metrics.count("runtime.restore_cycles", cycles,
+                                   kind="rollback")
 
     def _begin_probe(self, machine: Machine) -> None:
         self._probing = True

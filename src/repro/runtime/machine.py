@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import MachineFault
 from ..isa.instructions import Instr, Opcode
+from ..obs import REGION_COMMIT
 from ..isa.operands import (
     Imm,
     MASK32,
@@ -48,6 +49,32 @@ def default_sensor_stream(index: int) -> int:
     """Deterministic pseudo-sensor: a cheap integer hash of the cursor."""
     value = (index * 2654435761) & MASK32
     return (value >> 16) & 0x3FF  # 10-bit ADC-style reading
+
+
+def _opcode_classes() -> dict:
+    """Opcode -> profiler cycle-category ("where do the cycles go?")."""
+    classes = {}
+    mem = {Opcode.LD, Opcode.ST}
+    ctrl = {Opcode.BNZ, Opcode.JMP, Opcode.CALL, Opcode.RET, Opcode.HALT,
+            Opcode.NOP}
+    io = {Opcode.OUT, Opcode.SENSE}
+    ckpt = {Opcode.CKPT, Opcode.MARK}
+    for op in Opcode:
+        if op in mem:
+            classes[op] = "mem"
+        elif op in ctrl:
+            classes[op] = "ctrl"
+        elif op in io:
+            classes[op] = "io"
+        elif op in ckpt:
+            classes[op] = "ckpt"
+        else:
+            classes[op] = "alu"
+    return classes
+
+
+#: Cycle-attribution categories for the observability profiler.
+OPCODE_CLASSES = _opcode_classes()
 
 
 class StepResult(enum.Enum):
@@ -96,6 +123,12 @@ class Machine:
         #: mutate architectural state; returning True skips the fetched
         #: instruction entirely (Moro et al.'s instruction-skip model).
         self.fault_hook = None
+        #: Observability (:mod:`repro.obs`): the simulator attaches its
+        #: bundle here so region commits become bus events.  ``_prof``
+        #: is the pre-resolved profiler (None unless attached *and*
+        #: enabled), keeping the per-step cost to one identity check.
+        self.obs = None
+        self._prof = None
 
     # ------------------------------------------------------------------
     # Memory helpers.
@@ -189,6 +222,8 @@ class Machine:
             cost = instr.cycles
             self.cycles += cost
             self.instr_count += 1
+            if self._prof is not None:
+                self._prof.add_cycles(OPCODE_CLASSES[instr.op], cost)
             return cost
         instr = self.program.instrs[self.pc]
         target = self.program.targets[self.pc]
@@ -290,6 +325,8 @@ class Machine:
         cost = instr.cycles
         self.cycles += cost
         self.instr_count += 1
+        if self._prof is not None:
+            self._prof.add_cycles(OPCODE_CLASSES[op], cost)
         return cost
 
     def _commit_region(self, instr: Instr) -> None:
@@ -306,6 +343,8 @@ class Machine:
         self.write_word("__sensor_idx", 0, self.sensor_cursor)
         self._commit_output()
         self.marks_executed += 1
+        if self.obs is not None:
+            self.obs.emit(REGION_COMMIT, f"region={instr.region or 0}")
 
     def _commit_output(self) -> None:
         self.committed_out.extend(self.out_buffer)

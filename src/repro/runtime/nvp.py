@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 from ..isa.instructions import CYCLES, Opcode
 from ..isa.operands import NUM_REGS
+from ..obs import CHECKPOINT_BEGIN, JIT_RESTORE
 from .machine import JIT_OUT_CAPACITY, Machine
 
 _ST = CYCLES[Opcode.ST]
@@ -53,6 +54,11 @@ class NVPRuntime:
         #: checkpoint image as it is being written — the in-flight
         #: corruption mechanism of the paper's ``V_fail`` attack.
         self.fault_hook = None
+        #: Observability bundle (:mod:`repro.obs`), simulator-attached.
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        self.obs = obs
 
     # -- simulator interface -------------------------------------------
     def monitor_enabled(self, machine: Machine) -> bool:
@@ -122,14 +128,30 @@ class NVPRuntime:
         budget = int(energy_cycles // _ST)
         if self.fault_hook is not None:
             writes, budget = self.fault_hook.on_checkpoint(writes, budget)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(CHECKPOINT_BEGIN,
+                     f"budget={budget} words={len(writes)}")
+            obs.metrics.histogram("runtime.checkpoint_budget_words",
+                                  scheme=self.name).observe(budget)
         consumed = 0
         for count, (sym, off, value) in enumerate(writes):
             if count >= budget:
                 self.stats.jit_checkpoint_failures += 1
+                if obs is not None:
+                    obs.metrics.count("runtime.checkpoints", scheme=self.name,
+                                      status="failed")
+                    obs.metrics.count("runtime.checkpoint_cycles",
+                                      consumed, scheme=self.name)
                 return consumed, False
             machine.write_word(sym, off, value)
             consumed += _ST
         self.stats.jit_checkpoints += 1
+        if obs is not None:
+            obs.metrics.count("runtime.checkpoints", scheme=self.name,
+                              status="ok")
+            obs.metrics.count("runtime.checkpoint_cycles", consumed,
+                              scheme=self.name)
         return consumed, True
 
     def jit_restore(self, machine: Machine) -> int:
@@ -148,4 +170,8 @@ class NVPRuntime:
         words = self.checkpoint_size_words(len(machine.out_buffer))
         cycles = words * _LD
         self.stats.recovery_cycles += cycles
+        if self.obs is not None:
+            self.obs.emit(JIT_RESTORE, f"words={words}")
+            self.obs.metrics.count("runtime.restore_cycles", cycles,
+                                   kind="jit")
         return cycles

@@ -143,6 +143,11 @@ class RollbackRuntime:
     def __init__(self, program: LinkedProgram) -> None:
         self.table = build_region_table(program)
         self.stats = RuntimeStats()
+        #: Observability bundle (:mod:`repro.obs`), simulator-attached.
+        self.obs = None
+
+    def attach_obs(self, obs) -> None:
+        self.obs = obs
 
     # -- simulator interface -------------------------------------------
     def monitor_enabled(self, machine: Machine) -> bool:
@@ -205,6 +210,10 @@ class RollbackRuntime:
         machine.out_buffer = []
         self.stats.rollback_restores += 1
         self.stats.recovery_cycles += cycles
+        if self.obs is not None:
+            self.obs.emit("rollback_restore", f"region={region}")
+            self.obs.metrics.count("runtime.restore_cycles", cycles,
+                                   kind="rollback")
         return cycles
 
     def _execute_slice_dynamic(self, machine: Machine, action: SliceExec,

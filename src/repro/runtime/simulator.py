@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..analog.monitor import MonitorEvent, make_monitor
 from ..emi.attacker import AttackSchedule
@@ -35,6 +36,8 @@ from ..emi.devices import DeviceProfile, EVALUATION_BOARD, device
 from ..emi.propagation import RemotePath
 from ..errors import MachineFault, SimulationError
 from ..energy.power_system import PowerSystem
+from ..obs import EMI_OFF, EMI_ON, MONITOR_TRIP, Observability
+from ..obs.profiler import maybe as _maybe_prof
 from .machine import Machine
 
 #: Fraction of the incident attack RF the harvester rectifies back into
@@ -44,6 +47,10 @@ from .machine import Machine
 #: of airborne tone yields tens of microwatts of charging, like any
 #: ambient-RF source (§III, "Weak Input Power").
 ATTACK_HARVEST_EFFICIENCY = 3e-5
+
+#: Events copied into :attr:`SimResult.events` at the end of a run — a
+#: short excerpt, not the full ring, so results stay cheap to pickle.
+EVENT_TAIL = 64
 
 
 class DeviceState(enum.Enum):
@@ -89,6 +96,12 @@ class SimResult:
     attacks_detected: int = 0
     rollback_restores: int = 0
     timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: Flat observability metrics (:meth:`MetricsRegistry.as_dict`) when
+    #: the run carried an :class:`~repro.obs.Observability` bundle.
+    metrics: Dict[str, Union[int, float]] = field(default_factory=dict)
+    #: The last events retained by the bus ring, as JSON-safe dicts — the
+    #: per-run excerpt fault campaigns use to explain sdc/brick outcomes.
+    events: List[dict] = field(default_factory=list)
 
     @property
     def forward_progress_cycles(self) -> float:
@@ -137,7 +150,8 @@ class IntermittentSimulator:
                  monitor_kind: str = "adc",
                  config: Optional[SimConfig] = None,
                  tracer=None,
-                 fault_injector=None) -> None:
+                 fault_injector=None,
+                 obs: Optional[Observability] = None) -> None:
         self.machine = machine
         self.runtime = runtime
         self.power = power
@@ -148,11 +162,30 @@ class IntermittentSimulator:
         self.curve = self.device.curve_for(monitor_kind)
         self.monitor = make_monitor(monitor_kind, power.v_backup, power.v_on)
         self.config = config or SimConfig()
-        self.tracer = tracer
         self.state = DeviceState.OFF  # boots when the capacitor is ready
         self.t = 0.0
         self._sleep_until = 0.0
         self._init_image = list(machine.mem)
+        # Observability (:mod:`repro.obs`): one bundle shared by every
+        # layer.  A bare Tracer still works — it gets an implicit bus it
+        # subscribes to, preserving the pre-obs simulator contract.
+        if obs is None and tracer is not None:
+            obs = Observability.for_tracing()
+        self.obs = obs
+        self.tracer = tracer
+        self._emi_on = False
+        self._prof = None
+        if obs is not None:
+            obs.bind_clock(lambda: self.t)
+            if tracer is not None:
+                tracer.subscribe(obs.bus)
+            self._prof = _maybe_prof(obs.profiler)
+            machine.obs = obs
+            machine._prof = self._prof
+            attach = getattr(runtime, "attach_obs", None)
+            if attach is not None:
+                attach(obs)
+            power.attach_obs(obs)
         #: Fault injector (:mod:`repro.faultsim`): wires itself into the
         #: machine/runtime hook points and filters monitor events.
         self.fault = fault_injector
@@ -178,8 +211,15 @@ class IntermittentSimulator:
         self.power.harvest(self.t, dt, extra_power_w=extra)
 
     def _trace_event(self, kind: str, detail: str = "") -> None:
-        if self.tracer is not None:
-            self.tracer.event(self.t, kind, detail)
+        if self.obs is not None:
+            self.obs.emit(kind, detail, t=self.t)
+
+    def _note_attack_window(self) -> None:
+        """Emit EMI burst edges (attack tone became active/quiet)."""
+        active = self.attack.source_at(self.t) is not None
+        if active != self._emi_on:
+            self._emi_on = active
+            self.obs.emit(EMI_ON if active else EMI_OFF, t=self.t)
 
     def _consume_runtime_cycles(self, cycles: float,
                                 result: SimResult) -> None:
@@ -203,9 +243,10 @@ class IntermittentSimulator:
             if self.config.record_timeline and self.t >= next_timeline:
                 result.timeline.append((self.t - start, result.completions))
                 next_timeline += self.config.timeline_dt_s
-            if self.tracer is not None:
-                self.tracer.sample(self.t, self.power.voltage,
-                                   self.state.value)
+            if self.obs is not None:
+                self.obs.sample(self.power.voltage, self.state.value,
+                                t=self.t)
+                self._note_attack_window()
             if self.state is DeviceState.RUNNING:
                 self._slice_running(result)
             elif self.state is DeviceState.FAILED:
@@ -221,23 +262,34 @@ class IntermittentSimulator:
         result.attacks_detected = stats.attacks_detected
         result.rollback_restores = stats.rollback_restores
         result.marks_committed = self.machine.marks_executed
+        if self.obs is not None and self.obs.metrics.enabled:
+            # Cumulative snapshots, like the runtime stats above: batch
+            # callers re-running the simulator see the whole history.
+            result.metrics = self.obs.flat_metrics()
+            result.events = self.obs.event_tail(EVENT_TAIL)
         return result
 
     # ------------------------------------------------------------------
     def _slice_running(self, result: SimResult) -> None:
         machine = self.machine
+        prof = self._prof
         cycles = 0
+        fault = None
+        t0 = time.perf_counter() if prof is not None else 0.0
         try:
             for _ in range(self.config.quantum):
                 if machine.halted:
                     break
                 cycles += machine.step()
-        except (MachineFault, SimulationError) as fault:
-            self._record_cycles(cycles, result)
+        except (MachineFault, SimulationError) as exc:
+            fault = exc
+        if prof is not None:
+            prof.add_wall("machine.step", time.perf_counter() - t0)
+        self._record_cycles(cycles, result)
+        if fault is not None:
             result.machine_fault = str(fault)
             self.state = DeviceState.FAILED
             return
-        self._record_cycles(cycles, result)
         self.runtime.tick(machine)
 
         if machine.halted:
@@ -254,12 +306,16 @@ class IntermittentSimulator:
 
     def _record_cycles(self, cycles: int, result: SimResult) -> None:
         if cycles:
+            prof = self._prof
+            t0 = time.perf_counter() if prof is not None else 0.0
             self.power.consume_cycles(cycles)
             dt = self.power.mcu.cycles_to_seconds(cycles)
             # The monitor only samples at slice boundaries; mid-slice the
             # attack matters solely through the harvested incident power.
             incident = self._attack_at(self.t)[2]
             self._charge(dt, incident)
+            if prof is not None:
+                prof.add_wall("energy", time.perf_counter() - t0)
             self.t += dt
             result.executed_cycles += cycles
 
@@ -286,12 +342,18 @@ class IntermittentSimulator:
         if not self.runtime.monitor_enabled(self.machine):
             return
         amplitude, freq, _ = self._attack_at(self.t)
+        prof = self._prof
+        t0 = time.perf_counter() if prof is not None else 0.0
         event = self.monitor.sample(self.power.voltage, amplitude, freq,
                                     self.t, powered)
+        if prof is not None:
+            prof.add_wall("monitor", time.perf_counter() - t0)
         if self.fault is not None:
             # Injected monitor faults obey the same surface the EMI attack
             # does: a disabled monitor never reaches this point.
             event = self.fault.filter_monitor_event(event, powered, self.t)
+        if event is not MonitorEvent.NONE and self.obs is not None:
+            self.obs.emit(MONITOR_TRIP, event.name.lower(), t=self.t)
         if powered and event is MonitorEvent.CHECKPOINT:
             budget = self.power.checkpoint_budget_cycles()
             failures_before = self.runtime.stats.jit_checkpoint_failures

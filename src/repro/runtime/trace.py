@@ -6,11 +6,18 @@ discrete events (checkpoints, reboots, detections, completions, faults).
 It renders an ASCII strip chart — the closest thing this repo has to the
 oscilloscope screenshots in the paper's Fig. 9/13 — and supports simple
 queries for tests and examples.
+
+Since the observability subsystem (:mod:`repro.obs`) landed, the Tracer
+is a thin :class:`~repro.obs.events.EventBus` subscriber: the simulator
+publishes every event and voltage sample to the bus, and a subscribed
+Tracer records the oscilloscope-relevant subset.  The direct ``sample``/
+``event`` recording API is unchanged, so standalone use keeps working.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +34,11 @@ class TraceEvent:
 @dataclass
 class Tracer:
     """Collects voltage samples and events during a simulation."""
+
+    #: The oscilloscope-relevant event kinds a bus-subscribed Tracer
+    #: records (the bus also carries finer-grained runtime events).
+    EVENT_KINDS = ("checkpoint", "checkpoint_failed", "reboot", "detection",
+                   "completion", "brownout", "fault")
 
     sample_period_s: float = 1e-3
     max_samples: int = 100_000
@@ -46,10 +58,34 @@ class Tracer:
             self.truncated = True
             return
         self.samples.append((t, voltage, state))
-        self._next_sample = t + self.sample_period_s
+        # Snap the next deadline onto the sampling grid: advancing by
+        # ``t + period`` instead would let irregular arrivals drift the
+        # whole timeline off-phase over a long trace.
+        if self.sample_period_s > 0:
+            period = self.sample_period_s
+            deadline = (math.floor(t / period) + 1) * period
+            if deadline <= t:  # floating-point floor landed on t itself
+                deadline += period
+            self._next_sample = deadline
+        else:
+            self._next_sample = t
 
     def event(self, t: float, kind: str, detail: str = "") -> None:
         self.events.append(TraceEvent(t=t, kind=kind, detail=detail))
+
+    # -- event-bus integration ------------------------------------------
+    def subscribe(self, bus) -> "Tracer":
+        """Attach to an :class:`~repro.obs.events.EventBus`: record its
+        voltage samples and the oscilloscope-relevant events."""
+        bus.subscribe(self._on_bus_event, kinds=self.EVENT_KINDS)
+        bus.subscribe_samples(self._on_bus_sample)
+        return self
+
+    def _on_bus_event(self, event) -> None:
+        self.event(event.t, event.kind, event.detail)
+
+    def _on_bus_sample(self, point) -> None:
+        self.sample(point.t, point.voltage, point.state)
 
     # -- queries ----------------------------------------------------------
     def events_of(self, kind: str) -> List[TraceEvent]:

@@ -29,6 +29,33 @@ class TestTracerUnit:
             tracer.sample(i * 0.001, 3.0, "running")
         assert len(tracer.samples) <= 11
 
+    def test_sample_deadlines_snap_to_the_period_grid(self):
+        """Irregular arrivals must not drift the sampling phase: each
+        accepted sample schedules the next deadline at the following
+        multiple of the period, not at ``t + period``."""
+        period = 0.01
+        tracer = Tracer(sample_period_s=period)
+        # Arrivals land just after each grid line (jitter 40% of a period);
+        # the pre-fix ``t + period`` rule would accumulate that jitter and
+        # skip grid lines, recording fewer samples over a long trace.
+        times = [k * period + 0.004 for k in range(50)]
+        for t in times:
+            tracer.sample(t, 3.0, "running")
+        assert len(tracer.samples) == 50
+        for t, _, _ in tracer.samples:
+            offset = t % period
+            assert min(offset, period - offset) == pytest.approx(
+                0.004, abs=1e-9)
+
+    def test_sample_exact_grid_arrivals_all_recorded(self):
+        period = 0.01
+        tracer = Tracer(sample_period_s=period)
+        for k in range(100):
+            tracer.sample(k * period, 3.0, "running")
+        # Floating-point floor(t/period) landing on t itself must not
+        # wedge the deadline: every grid-aligned arrival is recorded.
+        assert len(tracer.samples) == 100
+
     def test_truncation_is_flagged_not_silent(self):
         tracer = Tracer(sample_period_s=0.0, max_samples=5)
         for i in range(10):
