@@ -1,0 +1,128 @@
+"""Pareto frontiers over (damage, detectability, attacker cost).
+
+One search against one defense yields many scored attacks; the attacker
+only cares about the *non-dominated* ones — maximum damage for a given
+visibility and energy budget.  :class:`ParetoFrontier` maintains that
+set, and frontier-vs-frontier comparison is how robustness is stated:
+defense A is **more robust** than defense B when every attack achievable
+against A is weakly dominated (from the attacker's perspective) by one
+achievable against B, and A's worst case is strictly less damaging —
+i.e. the adversary always does at least as well attacking B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated attack: the three Pareto axes plus a back-pointer
+    (``index``) into the search's evaluation list."""
+
+    damage: float
+    detectability: float
+    cost_j: float
+    index: int
+
+    def dominates(self, other: "FrontierPoint") -> bool:
+        """Attacker-perspective dominance: at least as much damage for at
+        most the visibility and energy, strictly better somewhere."""
+        if self.damage < other.damage \
+                or self.detectability > other.detectability \
+                or self.cost_j > other.cost_j:
+            return False
+        return (self.damage > other.damage
+                or self.detectability < other.detectability
+                or self.cost_j < other.cost_j)
+
+    def weakly_dominates(self, other: "FrontierPoint") -> bool:
+        return (self.damage >= other.damage
+                and self.detectability <= other.detectability
+                and self.cost_j <= other.cost_j)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FrontierPoint":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
+
+class ParetoFrontier:
+    """The non-dominated attack set against one defense.
+
+    Points are kept sorted by (-damage, detectability, cost, index) so
+    iteration order — and with it every serialized frontier and
+    fingerprint — is deterministic regardless of insertion order.
+    """
+
+    def __init__(self, points: Optional[List[FrontierPoint]] = None) -> None:
+        self.points: List[FrontierPoint] = []
+        for point in points or []:
+            self.add(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    # ------------------------------------------------------------------
+    def add(self, point: FrontierPoint) -> bool:
+        """Insert if non-dominated; evict anything the point dominates.
+
+        Returns True when the point made the frontier.
+        """
+        for existing in self.points:
+            if existing.weakly_dominates(point):
+                return False
+        self.points = [p for p in self.points if not point.dominates(p)]
+        self.points.append(point)
+        self.points.sort(key=lambda p: (-p.damage, p.detectability,
+                                        p.cost_j, p.index))
+        return True
+
+    def worst_case(self) -> Optional[FrontierPoint]:
+        """The maximum-damage attack (ties: stealthiest, then cheapest)."""
+        return self.points[0] if self.points else None
+
+    # -- frontier-vs-frontier comparisons ------------------------------
+    def attacker_dominated_by(self, other: "ParetoFrontier") -> bool:
+        """True when every point here is weakly dominated by some point of
+        ``other`` — the adversary always does at least as well on the
+        other frontier.  An empty frontier is trivially dominated."""
+        return all(any(theirs.weakly_dominates(ours) for theirs in other)
+                   for ours in self)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"points": [p.to_dict() for p in self.points]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParetoFrontier":
+        frontier = cls()
+        # Already non-dominated and sorted, but re-adding re-verifies both.
+        for point in data["points"]:
+            frontier.add(FrontierPoint.from_dict(point))
+        return frontier
+
+
+def more_robust(defense: ParetoFrontier, reference: ParetoFrontier) -> bool:
+    """Is ``defense`` strictly more robust than ``reference``?
+
+    Every attack achievable against ``defense`` must be weakly dominated
+    by one achievable against ``reference``, and the worst case against
+    ``defense`` must be strictly less damaging.  A defense with an empty
+    frontier (no feasible attack found) is more robust than any reference
+    with a damaging worst case.
+    """
+    if not defense.attacker_dominated_by(reference):
+        return False
+    ours, theirs = defense.worst_case(), reference.worst_case()
+    if theirs is None:
+        return False
+    if ours is None:
+        return theirs.damage > 0.0
+    return ours.damage < theirs.damage

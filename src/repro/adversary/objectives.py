@@ -1,0 +1,179 @@
+"""What the adversary is optimizing: pluggable objectives over outcomes.
+
+Every candidate evaluation reduces a :class:`~repro.runtime.SimResult`
+(against the defense's golden, attack-free reference run) to an
+:class:`AttackScores` record along three axes:
+
+* **damage** — what the attack cost the victim: forward-progress loss
+  (§IV-A2's R), silent data corruption and bricking (the §VII-B3 end
+  states, scored like :mod:`repro.faultsim` classifies them), and
+  rollback pressure (restores forced beyond the golden run's);
+* **detectability** — how visibly the runtime reacted
+  (:attr:`SimResult.attacks_detected`, the Fig. 13 detector);
+* **cost** — the attacker's transmitted energy (power × airtime).
+
+Search strategies rank candidates by a *scalarized* objective
+(:data:`OBJECTIVES`: raw damage, detection-penalized stealth, or
+energy-normalized efficiency) while the Pareto frontier keeps all three
+axes (:mod:`repro.adversary.frontier`), so one search yields the whole
+damage / detectability / cost trade surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, Optional
+
+from ..runtime import SimResult
+from ..runtime.metrics import check_outputs, forward_progress_rate
+from .space import AdversaryError, AttackCandidate
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """How the damage components combine, and how scalarization trades
+    damage against detectability and attacker cost."""
+
+    progress_loss: float = 1.0
+    sdc: float = 1.0
+    brick: float = 2.0
+    rollback: float = 0.1
+    #: Scalarization penalties (per detection / per joule transmitted).
+    detection_penalty: float = 0.02
+    cost_penalty_per_j: float = 0.0
+
+
+@dataclass(frozen=True)
+class AttackScores:
+    """One candidate's full scorecard (the frontier's raw material)."""
+
+    damage: float
+    progress_loss: float
+    corruption_rate: float
+    bricked: bool
+    rollback_pressure: float
+    detections: int
+    cost_j: float
+    airtime_s: float
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttackScores":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
+
+def progress_loss(result: SimResult, golden: SimResult,
+                  fidelity: float = 1.0) -> float:
+    """1 - R: the fraction of golden forward progress the attack erased.
+
+    Low-fidelity rungs (successive halving) simulate a prefix of the run;
+    the golden cycle count scales by ``fidelity`` so rungs stay comparable.
+    """
+    if golden.executed_cycles <= 0:
+        return 0.0
+    if fidelity >= 1.0:
+        return 1.0 - forward_progress_rate(result, golden)
+    scaled = golden.executed_cycles * fidelity
+    return 1.0 - min(1.0, result.executed_cycles / scaled) \
+        if scaled > 0 else 0.0
+
+
+def corruption_rate(result: SimResult, golden: SimResult) -> float:
+    """Fraction of completed iterations that committed corrupt output."""
+    if not result.committed_outputs:
+        return 0.0
+    golden_run = golden.committed_outputs[0] if golden.committed_outputs \
+        else []
+    return check_outputs(result, golden_run).corruption_rate
+
+
+def rollback_pressure(result: SimResult, golden: SimResult) -> float:
+    """Extra rollback restores the attack forced, per golden completion."""
+    extra = result.rollback_restores - golden.rollback_restores
+    if extra <= 0:
+        return 0.0
+    return extra / max(1, golden.completions)
+
+
+def score(candidate: AttackCandidate, result: SimResult, golden: SimResult,
+          duration_s: float, fidelity: float = 1.0,
+          weights: Optional[ObjectiveWeights] = None) -> AttackScores:
+    """Reduce one evaluated candidate to its :class:`AttackScores`."""
+    weights = weights or ObjectiveWeights()
+    loss = progress_loss(result, golden, fidelity)
+    sdc = corruption_rate(result, golden)
+    bricked = result.final_state == "failed"
+    rollback = rollback_pressure(result, golden)
+    damage = (weights.progress_loss * loss
+              + weights.sdc * sdc
+              + weights.brick * (1.0 if bricked else 0.0)
+              + weights.rollback * min(1.0, rollback))
+    window_s = duration_s * fidelity
+    return AttackScores(
+        damage=damage,
+        progress_loss=loss,
+        corruption_rate=sdc,
+        bricked=bricked,
+        rollback_pressure=rollback,
+        detections=result.attacks_detected,
+        cost_j=candidate.energy_j(window_s),
+        airtime_s=candidate.airtime_s(window_s),
+    )
+
+
+def unsimulated(candidate: AttackCandidate, duration_s: float,
+                fidelity: float = 1.0) -> AttackScores:
+    """The scorecard of a pruned (energy-infeasible) candidate: the tone
+    never couples, so it does zero damage — but still costs energy."""
+    window_s = duration_s * fidelity
+    return AttackScores(
+        damage=0.0, progress_loss=0.0, corruption_rate=0.0, bricked=False,
+        rollback_pressure=0.0, detections=0,
+        cost_j=candidate.energy_j(window_s),
+        airtime_s=candidate.airtime_s(window_s),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scalarized objectives (what a search strategy ranks by).
+# ----------------------------------------------------------------------
+def damage_objective(scores: AttackScores,
+                     weights: ObjectiveWeights) -> float:
+    """Pure damage: the worst-case-attack search."""
+    return scores.damage
+
+
+def stealth_objective(scores: AttackScores,
+                      weights: ObjectiveWeights) -> float:
+    """Damage discounted by how loudly the runtime reacted."""
+    return scores.damage - weights.detection_penalty * scores.detections \
+        - weights.cost_penalty_per_j * scores.cost_j
+
+
+def efficiency_objective(scores: AttackScores,
+                         weights: ObjectiveWeights) -> float:
+    """Damage per joule transmitted (log-compressed to stay bounded)."""
+    if scores.cost_j <= 0:
+        return 0.0
+    return scores.damage / (1.0 + math.log10(1.0 + scores.cost_j * 1e3))
+
+
+#: The pluggable objective registry; external code may register more.
+OBJECTIVES: Dict[str, Callable[[AttackScores, ObjectiveWeights], float]] = {
+    "damage": damage_objective,
+    "stealth": stealth_objective,
+    "efficiency": efficiency_objective,
+}
+
+
+def objective_fn(name: str) -> Callable[[AttackScores, ObjectiveWeights],
+                                        float]:
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise AdversaryError(
+            f"unknown objective {name!r} "
+            f"(choose from {', '.join(sorted(OBJECTIVES))})")

@@ -1,0 +1,378 @@
+"""Robustness reports: defenses compared by their worst found attacks.
+
+A :class:`RobustnessReport` is the artifact the whole subsystem exists to
+produce: per defense, the Pareto frontier of found attacks and the
+worst-case attack itself — serialized round-trippably
+(:class:`FoundAttack` carries the built
+:class:`~repro.emi.AttackSchedule`), so a discovered attack replays
+through the existing harnesses (:func:`replay`,
+``repro-gecko adversary --replay``) long after the search that found it.
+
+Because each defense's search explores its own trajectory, frontiers from
+independent searches are not directly comparable point-by-point.
+:func:`compare_defenses` therefore **cross-evaluates** the union of all
+discovered frontier attacks against every defense — the same attack, both
+victims — and :meth:`RobustnessReport.more_robust` decides domination on
+that matched matrix: defense A is strictly more robust than B when every
+union attack does at most as much damage to A as to B (within a small
+tolerance) and A's worst case is strictly less damaging.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..emi import AttackSchedule, RemotePath
+from ..eval.campaign import CampaignRunner, ExperimentSpec
+from ..eval.common import VictimConfig, run_attack
+from ..obs import Observability
+from ..runtime import SimResult
+from .frontier import ParetoFrontier, more_robust
+from .objectives import AttackScores, ObjectiveWeights, score
+from .search import (
+    AdversaryResult,
+    AdversarySearch,
+    adversary_victim,
+    Evaluation,
+)
+from .space import AdversaryError, AttackCandidate, AttackSpace
+
+#: Cap on the cross-evaluation attack set; the head-to-head matrix costs
+#: ``len(union) × len(schemes)`` extra simulations.
+CROSS_MAX = 8
+
+#: Matched-attack damage slack: sub-tolerance differences between two
+#: defenses under the *same* attack are measurement noise (checkpoint
+#: phase jitter at near-zero damage), not a robustness signal.
+DAMAGE_TOL = 0.05
+
+
+@dataclass
+class FoundAttack:
+    """One discovered attack, frozen for replay.
+
+    The schedule is the candidate *built* at the search's run length, so
+    replay does not depend on the adversary package's encoding staying
+    stable — ``AttackSchedule.from_dict`` is the only contract.
+    """
+
+    candidate: AttackCandidate
+    scores: AttackScores
+    schedule: dict
+    distance_m: float
+    duration_s: float
+
+    @classmethod
+    def from_evaluation(cls, evaluation: Evaluation,
+                        duration_s: float) -> "FoundAttack":
+        schedule, path = evaluation.candidate.build(duration_s)
+        return cls(candidate=evaluation.candidate,
+                   scores=evaluation.scores,
+                   schedule=schedule.to_dict(),
+                   distance_m=path.distance_m,
+                   duration_s=duration_s)
+
+    def to_schedule(self) -> Tuple[AttackSchedule, RemotePath]:
+        """The replayable (schedule, path) pair."""
+        return (AttackSchedule.from_dict(self.schedule),
+                RemotePath(distance_m=self.distance_m))
+
+    def to_dict(self) -> dict:
+        return {"candidate": self.candidate.to_dict(),
+                "scores": self.scores.to_dict(),
+                "schedule": self.schedule,
+                "distance_m": self.distance_m,
+                "duration_s": self.duration_s}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FoundAttack":
+        return cls(candidate=AttackCandidate.from_dict(data["candidate"]),
+                   scores=AttackScores.from_dict(data["scores"]),
+                   schedule=data["schedule"],
+                   distance_m=data["distance_m"],
+                   duration_s=data["duration_s"])
+
+
+@dataclass
+class DefenseReport:
+    """One defense's robustness measurement."""
+
+    scheme: str
+    workload: str
+    frontier: ParetoFrontier
+    worst_case: Optional[FoundAttack]
+    evaluations: int
+    simulations: int
+    pruned: int
+    fingerprint: str
+
+    @classmethod
+    def from_result(cls, result: AdversaryResult) -> "DefenseReport":
+        worst = result.worst_case()
+        return cls(
+            scheme=result.scheme, workload=result.workload,
+            frontier=result.frontier,
+            worst_case=FoundAttack.from_evaluation(worst, result.duration_s)
+            if worst is not None else None,
+            evaluations=result.stats.evaluations,
+            simulations=result.stats.simulations,
+            pruned=result.stats.pruned,
+            fingerprint=result.fingerprint(),
+        )
+
+    @property
+    def worst_damage(self) -> float:
+        point = self.frontier.worst_case()
+        return point.damage if point is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {"scheme": self.scheme, "workload": self.workload,
+                "frontier": self.frontier.to_dict(),
+                "worst_case": self.worst_case.to_dict()
+                if self.worst_case else None,
+                "evaluations": self.evaluations,
+                "simulations": self.simulations,
+                "pruned": self.pruned,
+                "fingerprint": self.fingerprint}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DefenseReport":
+        return cls(scheme=data["scheme"], workload=data["workload"],
+                   frontier=ParetoFrontier.from_dict(data["frontier"]),
+                   worst_case=FoundAttack.from_dict(data["worst_case"])
+                   if data["worst_case"] else None,
+                   evaluations=data["evaluations"],
+                   simulations=data["simulations"],
+                   pruned=data["pruned"],
+                   fingerprint=data["fingerprint"])
+
+
+@dataclass
+class RobustnessReport:
+    """The cross-defense comparison: NVP vs GECKO under their own worst
+    found attacks, JSON round-trippable."""
+
+    workload: str
+    strategy: str
+    budget: int
+    seed: int
+    duration_s: float
+    defenses: Dict[str, DefenseReport] = field(default_factory=dict)
+    #: Union of every defense's frontier attacks, replayed head-to-head.
+    cross_attacks: List[AttackCandidate] = field(default_factory=list)
+    #: Damage per scheme, aligned with ``cross_attacks``.
+    cross_damage: Dict[str, List[float]] = field(default_factory=dict)
+
+    def more_robust(self, scheme: str, than: str,
+                    damage_tol: float = DAMAGE_TOL) -> bool:
+        """Is ``scheme`` strictly more robust than ``than``?
+
+        When the head-to-head matrix is available (it is, whenever
+        :func:`compare_defenses` found any attack), the verdict is decided
+        on matched attacks: every union attack must do at most as much
+        damage to ``scheme`` as to ``than`` (within ``damage_tol``), and
+        the worst case against ``scheme`` must be strictly smaller.
+        Without cross data, falls back to frontier domination
+        (:func:`~repro.adversary.frontier.more_robust`).
+        """
+        ours = self.cross_damage.get(scheme)
+        theirs = self.cross_damage.get(than)
+        if ours and theirs:
+            return (max(ours) < max(theirs)
+                    and all(a <= b + damage_tol
+                            for a, b in zip(ours, theirs)))
+        return more_robust(self.defenses[scheme].frontier,
+                           self.defenses[than].frontier)
+
+    # -- rendering -----------------------------------------------------
+    def render(self) -> str:
+        lines = [f"adversary search: {self.workload}  "
+                 f"strategy={self.strategy}  budget={self.budget}  "
+                 f"seed={self.seed}"]
+        for scheme, report in self.defenses.items():
+            lines.append("")
+            lines.append(
+                f"{scheme}: worst damage {report.worst_damage:.3f}  "
+                f"({report.simulations} simulated, {report.pruned} pruned; "
+                f"frontier size {len(report.frontier)})  "
+                f"[fingerprint {report.fingerprint[:16]}]")
+            for point in report.frontier:
+                bar = "#" * int(round(min(point.damage, 2.0) * 15))
+                lines.append(
+                    f"  damage={point.damage:6.3f}  "
+                    f"det={point.detectability:4.0f}  "
+                    f"cost={point.cost_j:8.3f}J  {bar}")
+            worst = report.worst_case
+            if worst is not None:
+                c = worst.candidate
+                lines.append(
+                    f"  worst attack: {c.freq_mhz:.1f} MHz @ "
+                    f"{c.tx_dbm:.1f} dBm, {c.distance_m:.1f} m, "
+                    f"window [{c.start:.2f}, "
+                    f"{min(1.0, c.start + c.duration):.2f}] "
+                    f"duty {c.duty:.2f}")
+        if self.cross_attacks and self.cross_damage:
+            lines.append("")
+            lines.append("head-to-head: damage per defense over the union "
+                         "of frontier attacks")
+            lines.append("  " + "attack".ljust(46) + "".join(
+                scheme.rjust(8) for scheme in self.cross_damage))
+            for i, c in enumerate(self.cross_attacks):
+                label = (f"{c.freq_mhz:5.1f} MHz @{c.tx_dbm:4.1f} dBm "
+                         f"{c.distance_m:4.1f} m  "
+                         f"[{c.start:.2f}, "
+                         f"{min(1.0, c.start + c.duration):.2f}] "
+                         f"duty {c.duty:.2f}")
+                lines.append("  " + label.ljust(46) + "".join(
+                    f"{damages[i]:8.3f}"
+                    for damages in self.cross_damage.values()))
+        schemes = list(self.defenses)
+        for scheme in schemes:
+            for other in schemes:
+                if scheme != other and self.more_robust(scheme, other):
+                    lines.append("")
+                    lines.append(
+                        f"{scheme} is strictly more robust than {other}: "
+                        f"every found attack does no more damage to it, "
+                        f"and its worst case is strictly smaller.")
+        return "\n".join(lines)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"workload": self.workload, "strategy": self.strategy,
+                "budget": self.budget, "seed": self.seed,
+                "duration_s": self.duration_s,
+                "defenses": {scheme: report.to_dict()
+                             for scheme, report in self.defenses.items()},
+                "cross_attacks": [c.to_dict() for c in self.cross_attacks],
+                "cross_damage": {scheme: list(damages)
+                                 for scheme, damages
+                                 in self.cross_damage.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RobustnessReport":
+        return cls(workload=data["workload"], strategy=data["strategy"],
+                   budget=data["budget"], seed=data["seed"],
+                   duration_s=data["duration_s"],
+                   defenses={scheme: DefenseReport.from_dict(report)
+                             for scheme, report
+                             in data["defenses"].items()},
+                   cross_attacks=[AttackCandidate.from_dict(c)
+                                  for c in data.get("cross_attacks", [])],
+                   cross_damage={scheme: list(damages)
+                                 for scheme, damages
+                                 in data.get("cross_damage", {}).items()})
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RobustnessReport":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def compare_defenses(workload: str = "blink",
+                     schemes: Sequence[str] = ("nvp", "gecko"),
+                     strategy: str = "anneal",
+                     budget: int = 32,
+                     seed: int = 0,
+                     duration_s: float = 0.05,
+                     batch: int = 8,
+                     objective: str = "damage",
+                     weights: Optional[ObjectiveWeights] = None,
+                     space: Optional[AttackSpace] = None,
+                     workers: int = 1,
+                     runner: Optional[CampaignRunner] = None,
+                     obs: Optional[Observability] = None
+                     ) -> RobustnessReport:
+    """Search each defense with the same strategy/budget/seed and compare.
+
+    The runner (and with it the compile cache and worker pool) is shared
+    across defenses, so a two-scheme comparison compiles each scheme
+    exactly once.  After the per-defense searches, the union of every
+    frontier's attacks (capped at :data:`CROSS_MAX`, strongest first) is
+    replayed against *every* defense, so robustness is judged on matched
+    attacks rather than on each search's private trajectory.
+    """
+    runner = runner or CampaignRunner(workers=workers)
+    weights = weights or ObjectiveWeights()
+    report = RobustnessReport(workload=workload, strategy=strategy,
+                              budget=budget, seed=seed,
+                              duration_s=duration_s)
+    victims: Dict[str, VictimConfig] = {}
+    results: Dict[str, AdversaryResult] = {}
+    for scheme in schemes:
+        victim = adversary_victim(workload=workload, scheme=scheme,
+                                  duration_s=duration_s)
+        victims[scheme] = victim
+        results[scheme] = AdversarySearch(
+            victim, space=space, strategy=strategy, objective=objective,
+            budget=budget, seed=seed, batch=batch, weights=weights,
+            runner=runner, obs=obs).run()
+        report.defenses[scheme] = DefenseReport.from_result(results[scheme])
+    _cross_evaluate(report, victims, results, runner, weights)
+    return report
+
+
+def _union_attacks(results: Dict[str, AdversaryResult]
+                   ) -> List[AttackCandidate]:
+    """Union of all frontiers' candidates, strongest first, deduped and
+    capped — the deterministic head-to-head attack set."""
+    seen = set()
+    union: List[Tuple[float, str, AttackCandidate]] = []
+    for result in results.values():
+        for point in result.frontier:
+            candidate = result.evaluations[point.index].candidate
+            key = json.dumps(candidate.to_dict(), sort_keys=True)
+            if key not in seen:
+                seen.add(key)
+                union.append((point.damage, key, candidate))
+    union.sort(key=lambda item: (-item[0], item[1]))
+    return [candidate for _, _, candidate in union[:CROSS_MAX]]
+
+
+def _cross_evaluate(report: RobustnessReport,
+                    victims: Dict[str, VictimConfig],
+                    results: Dict[str, AdversaryResult],
+                    runner: CampaignRunner,
+                    weights: ObjectiveWeights) -> None:
+    """Fill the report's head-to-head matrix: every union attack replayed
+    against every defense through the shared runner."""
+    attacks = _union_attacks(results)
+    if not attacks:
+        return
+    report.cross_attacks = attacks
+    for scheme, victim in victims.items():
+        spec = ExperimentSpec(
+            name=f"adversary-cross:{victim.workload}:{scheme}",
+            victim=victim, baseline=False,
+            sweep={"*": [{"attack": c.attack_spec(),
+                          "path": c.path_spec()} for c in attacks]},
+        )
+        damages: List[float] = []
+        for candidate, outcome in zip(attacks, runner.run(spec).outcomes):
+            if outcome.error or outcome.result is None:
+                raise AdversaryError(
+                    f"cross-evaluation failed: {outcome.error}")
+            damages.append(score(candidate, outcome.result,
+                                 results[scheme].golden,
+                                 victim.duration_s, 1.0, weights).damage)
+        report.cross_damage[scheme] = damages
+
+
+def replay(found: FoundAttack, workload: str, scheme: str,
+           duration_s: Optional[float] = None) -> SimResult:
+    """Re-run a discovered attack through the standard harness."""
+    schedule, path = found.to_schedule()
+    victim = adversary_victim(
+        workload=workload, scheme=scheme,
+        duration_s=duration_s if duration_s is not None
+        else found.duration_s)
+    return run_attack(victim, schedule, path=path)

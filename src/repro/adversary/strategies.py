@@ -1,0 +1,260 @@
+"""Seeded search strategies over the attack space.
+
+Each strategy is a batch ask/tell loop: :meth:`SearchStrategy.ask` yields
+the next batch of :class:`Trial` proposals (empty when the evaluation
+budget is spent) and :meth:`SearchStrategy.tell` feeds back the scalar
+objective values, in order.  The orchestrator owns the actual
+simulations, so strategies stay pure, picklable, and deterministic: the
+same (space, budget, seed) always proposes the same trials, which is
+what the serial == parallel fingerprint guarantee rests on.
+
+* :class:`GridStrategy` — an aggressive (frequency × power) lattice, the
+  static-sweep baseline every adaptive strategy must beat;
+* :class:`RandomStrategy` — uniform random search, the classic
+  hard-to-beat baseline;
+* :class:`AnnealStrategy` — parallel simulated-annealing chains warm
+  started from the aggressive lattice, with a geometric temperature
+  schedule and proposal scale that narrows as the search cools;
+* :class:`HalvingStrategy` — successive halving: a wide cohort at low
+  simulation fidelity (a prefix of the run window), with only the top
+  half promoted to each higher rung, so the full-length budget is spent
+  on candidates that already showed damage.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Type
+
+from .space import AdversaryError, AttackCandidate, AttackSpace
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One proposed evaluation: a candidate at a simulation fidelity.
+
+    ``fidelity`` scales the simulated window (1.0 = the victim's full
+    ``duration_s``); only full-fidelity evaluations feed the frontier.
+    """
+
+    candidate: AttackCandidate
+    fidelity: float = 1.0
+
+
+class SearchStrategy:
+    """Base ask/tell strategy with budget accounting."""
+
+    name = "strategy"
+
+    def __init__(self, space: AttackSpace, budget: int, seed: int = 0,
+                 batch: int = 8) -> None:
+        if budget < 1:
+            raise AdversaryError("search budget must be >= 1")
+        if batch < 1:
+            raise AdversaryError("batch size must be >= 1")
+        self.space = space
+        self.budget = budget
+        self.batch = batch
+        self.rng = random.Random(seed)
+        self.asked = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - self.asked
+
+    def _take(self, candidates: Sequence[AttackCandidate],
+              fidelity: float = 1.0) -> List[Trial]:
+        """Wrap candidates as trials, clamped to the remaining budget."""
+        kept = list(candidates)[:max(0, self.remaining)]
+        self.asked += len(kept)
+        return [Trial(candidate=c, fidelity=fidelity) for c in kept]
+
+    # ------------------------------------------------------------------
+    def ask(self) -> List[Trial]:
+        raise NotImplementedError
+
+    def tell(self, trials: Sequence[Trial],
+             values: Sequence[float]) -> None:
+        """Feed back the scalar objective per trial (same order)."""
+
+
+class GridStrategy(SearchStrategy):
+    """Exhaustive aggressive lattice over (frequency × power)."""
+
+    name = "grid"
+
+    def __init__(self, space: AttackSpace, budget: int, seed: int = 0,
+                 batch: int = 8) -> None:
+        super().__init__(space, budget, seed, batch)
+        n_power = 1 if budget < 16 else 2
+        n_freq = max(1, math.ceil(budget / n_power))
+        self._plan = space.lattice(n_freq, n_power)[:budget]
+        self._cursor = 0
+
+    def ask(self) -> List[Trial]:
+        chunk = self._plan[self._cursor:self._cursor + self.batch]
+        self._cursor += len(chunk)
+        return self._take(chunk)
+
+
+class RandomStrategy(SearchStrategy):
+    """Uniform random sampling of the whole space."""
+
+    name = "random"
+
+    def ask(self) -> List[Trial]:
+        n = min(self.batch, self.remaining)
+        return self._take([self.space.sample(self.rng) for _ in range(n)])
+
+
+class AnnealStrategy(SearchStrategy):
+    """Parallel simulated-annealing chains with a warm start.
+
+    Each of ``batch`` chains keeps its best-known candidate; every round
+    proposes a Gaussian neighbor per chain and accepts uphill moves
+    always, downhill moves with probability ``exp(Δ / T)``.  The first
+    round seeds half the chains from the aggressive frequency lattice
+    (attackers know published board resonances) and half at random.
+    """
+
+    name = "anneal"
+
+    #: Initial temperature relative to the damage scale (~0..2).
+    T0 = 0.25
+    #: Geometric cooling per round.
+    DECAY = 0.7
+    T_MIN = 0.01
+    #: Proposal scale tracks temperature: bold while hot, local when cold.
+    SCALE_HOT = 0.25
+    SCALE_COLD = 0.05
+
+    def __init__(self, space: AttackSpace, budget: int, seed: int = 0,
+                 batch: int = 8) -> None:
+        super().__init__(space, budget, seed, batch)
+        self.temperature = self.T0
+        self._state: List[Tuple[AttackCandidate, float]] = []
+        self._pending_chains: List[int] = []
+
+    def _scale(self) -> float:
+        warmth = (self.temperature - self.T_MIN) / (self.T0 - self.T_MIN)
+        warmth = min(1.0, max(0.0, warmth))
+        return self.SCALE_COLD + (self.SCALE_HOT - self.SCALE_COLD) * warmth
+
+    def ask(self) -> List[Trial]:
+        if self.remaining <= 0:
+            return []
+        if not self._state:
+            seeds = self.space.lattice(max(1, self.batch // 2))
+            while len(seeds) < self.batch:
+                seeds.append(self.space.sample(self.rng))
+            proposals = seeds[:self.batch]
+        else:
+            proposals = [self.space.neighbor(cand, self.rng, self._scale())
+                         for cand, _ in self._state]
+        trials = self._take(proposals)
+        self._pending_chains = list(range(len(trials)))
+        return trials
+
+    def tell(self, trials: Sequence[Trial],
+             values: Sequence[float]) -> None:
+        if not self._state:
+            self._state = [(t.candidate, v)
+                           for t, v in zip(trials, values)]
+        else:
+            for chain, trial, value in zip(self._pending_chains, trials,
+                                           values):
+                current = self._state[chain][1]
+                delta = value - current
+                if delta >= 0 or self.rng.random() < \
+                        math.exp(delta / max(self.temperature, 1e-9)):
+                    self._state[chain] = (trial.candidate, value)
+        self.temperature = max(self.T_MIN, self.temperature * self.DECAY)
+
+
+class HalvingStrategy(SearchStrategy):
+    """Successive halving over simulation fidelity.
+
+    Rung fidelities are prefixes of the run window; between rungs only
+    the top ``1/eta`` of the cohort survives.  Candidates that cannot
+    even couple (energy-infeasible) are scored without simulation by the
+    orchestrator, so they are pruned before the first promotion — the
+    budget flows to candidates that already demonstrated damage.
+    """
+
+    name = "halving"
+
+    FIDELITIES = (0.25, 0.5, 1.0)
+    ETA = 2
+
+    def __init__(self, space: AttackSpace, budget: int, seed: int = 0,
+                 batch: int = 8) -> None:
+        super().__init__(space, budget, seed, batch)
+        self._rungs = self._plan_rungs(budget)
+        self._rung = 0
+        self._cohort = self._initial_cohort(self._rungs[0][1])
+        self._scored: List[Tuple[AttackCandidate, float]] = []
+
+    def _plan_rungs(self, budget: int) -> List[Tuple[float, int]]:
+        """(fidelity, cohort size) per rung, fitted to the budget."""
+        for rungs in (self.FIDELITIES, self.FIDELITIES[1:],
+                      self.FIDELITIES[2:]):
+            # n0 halves per promotion: total = sum(n0 // eta**i).
+            n0 = budget
+            while n0 > 1 and sum(max(1, n0 // self.ETA ** i)
+                                 for i in range(len(rungs))) > budget:
+                n0 -= 1
+            sizes = [max(1, n0 // self.ETA ** i) for i in range(len(rungs))]
+            if sum(sizes) <= budget and sizes[0] >= self.ETA ** \
+                    (len(rungs) - 1):
+                return list(zip(rungs, sizes))
+        return [(1.0, budget)]
+
+    def _initial_cohort(self, n: int) -> List[AttackCandidate]:
+        cohort = self.space.lattice(max(1, n // 2))
+        while len(cohort) < n:
+            cohort.append(self.space.sample(self.rng))
+        return cohort[:n]
+
+    def ask(self) -> List[Trial]:
+        if self._rung >= len(self._rungs) or not self._cohort:
+            return []
+        fidelity, _ = self._rungs[self._rung]
+        return self._take(self._cohort, fidelity=fidelity)
+
+    def tell(self, trials: Sequence[Trial],
+             values: Sequence[float]) -> None:
+        self._scored.extend(
+            (t.candidate, v) for t, v in zip(trials, values))
+        if len(self._scored) < len(self._cohort):
+            return
+        self._rung += 1
+        if self._rung >= len(self._rungs):
+            self._cohort = []
+            return
+        _, size = self._rungs[self._rung]
+        ranked = sorted(enumerate(self._scored),
+                        key=lambda item: (-item[1][1], item[0]))
+        self._cohort = [cand for _, (cand, _) in ranked[:size]]
+        self._scored = []
+
+
+#: Strategy registry, keyed by CLI name.
+STRATEGIES: Dict[str, Type[SearchStrategy]] = {
+    GridStrategy.name: GridStrategy,
+    RandomStrategy.name: RandomStrategy,
+    AnnealStrategy.name: AnnealStrategy,
+    HalvingStrategy.name: HalvingStrategy,
+}
+
+
+def make_strategy(name: str, space: AttackSpace, budget: int,
+                  seed: int = 0, batch: int = 8) -> SearchStrategy:
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise AdversaryError(
+            f"unknown strategy {name!r} "
+            f"(choose from {', '.join(sorted(STRATEGIES))})")
+    return cls(space, budget, seed=seed, batch=batch)

@@ -25,9 +25,18 @@ Installed as ``repro-gecko`` (see pyproject) and runnable as
   sweeps the (fault model × time × target) space per scheme, classifies
   every run against a golden reference, and prints the vulnerability
   maps; ``--json`` saves them.
+* ``adversary <workload>``  — adaptive attack synthesis: searches the
+  bounded EMI attack space per defense, prints the Pareto frontiers and
+  the head-to-head robustness verdict; ``--json`` saves the
+  RobustnessReport, ``--replay`` re-runs a saved report's strongest
+  attack through the standard harness.
+
+All stochastic subcommands (``campaign --sample``, ``faultsim``,
+``adversary``) share a single ``--seed`` flag with the same meaning:
+one integer pins every random choice, so re-running reproduces the run.
 
 ``<prog>`` is either a bundled workload name or a path to a MiniC file
-(``faultsim`` takes bundled workload names only).
+(``faultsim`` and ``adversary`` take bundled workload names only).
 """
 
 from __future__ import annotations
@@ -78,6 +87,13 @@ def _add_program_args(parser: argparse.ArgumentParser) -> None:
                         help="crash-consistency compilation scheme")
     parser.add_argument("--budget", type=int, default=None,
                         help="region power-on budget in cycles (gecko only)")
+
+
+def _add_seed_arg(parser: argparse.ArgumentParser) -> None:
+    """The one ``--seed`` flag every stochastic subcommand shares."""
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed pinning every random choice "
+                             "(same seed, same run)")
 
 
 def _add_sim_args(parser: argparse.ArgumentParser) -> None:
@@ -348,6 +364,21 @@ def cmd_campaign(args) -> int:
     sweep = {"attack.freq_mhz": _parse_axis(args.freqs)}
     if args.distances:
         sweep["path.distance_m"] = _parse_axis(args.distances)
+    if args.sample is not None:
+        # A seeded subsample of the cartesian grid, carried as paired
+        # points on the "*" axis so each keeps its full coordinate.
+        import itertools
+        import random as random_mod
+
+        if args.sample < 1:
+            raise SystemExit("error: --sample wants a positive count")
+        targets = list(sweep)
+        grid = list(itertools.product(*sweep.values()))
+        if args.sample < len(grid):
+            rng = random_mod.Random(args.seed)
+            keep = sorted(rng.sample(range(len(grid)), args.sample))
+            grid = [grid[i] for i in keep]
+        sweep = {"*": [dict(zip(targets, combo)) for combo in grid]}
     spec = ExperimentSpec(
         name=f"cli:{args.program}:{args.scheme}",
         victim=victim,
@@ -358,9 +389,15 @@ def cmd_campaign(args) -> int:
     campaign = CampaignRunner(workers=args.workers).run(spec)
 
     for outcome in campaign.outcomes:
+        coords = {}
+        for axis, value in outcome.params.items():
+            if axis == "*":
+                coords.update(value)
+            else:
+                coords[axis] = value
         label = "  ".join(
             f"{axis.split('.')[-1]}={value:g}"
-            for axis, value in outcome.params.items()
+            for axis, value in coords.items()
         )
         if outcome.error:
             print(f"{label:<28} FAILED: {outcome.error}")
@@ -424,6 +461,50 @@ def cmd_faultsim(args) -> int:
             json_mod.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_adversary(args) -> int:
+    from .adversary import RobustnessReport, compare_defenses, replay
+
+    if args.replay:
+        report = RobustnessReport.load(args.replay)
+        donors = [d for d in report.defenses.values()
+                  if d.worst_case is not None]
+        if not donors:
+            raise SystemExit(
+                f"error: {args.replay} records no found attack to replay")
+        donor = max(donors, key=lambda d: d.worst_damage)
+        scheme = args.against or donor.scheme
+        found = donor.worst_case
+        c = found.candidate
+        print(f"replaying the worst attack found against {donor.scheme} "
+              f"(damage {found.scores.damage:.3f}) against {scheme}:")
+        print(f"  {c.freq_mhz:.1f} MHz @ {c.tx_dbm:.1f} dBm, "
+              f"{c.distance_m:.1f} m, duty {c.duty:.2f}, "
+              f"{found.duration_s:g} s window")
+        result = replay(found, report.workload, scheme)
+        print(f"completions:      {result.completions}")
+        print(f"reboots:          {result.reboots}  "
+              f"(brownouts: {result.brownouts})")
+        print(f"attacks detected: {result.attacks_detected}")
+        print(f"final state:      {result.final_state}")
+        return 0
+
+    if args.workload not in WORKLOAD_NAMES:
+        raise SystemExit(
+            f"error: adversary takes a bundled workload name "
+            f"({', '.join(WORKLOAD_NAMES)}), got {args.workload!r}")
+    schemes = tuple(s.strip() for s in args.scheme.split(",") if s.strip())
+    report = compare_defenses(
+        workload=args.workload, schemes=schemes, strategy=args.strategy,
+        budget=args.budget, seed=args.seed, duration_s=args.duration,
+        batch=args.batch, objective=args.objective, workers=args.workers,
+    )
+    print(report.render())
+    if args.json:
+        report.save(args.json)
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -507,6 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated seconds per grid point")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the grid")
+    p.add_argument("--sample", type=int, default=None, metavar="N",
+                   help="run a seeded random subsample of N grid points "
+                        "instead of the full grid")
+    _add_seed_arg(p)
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the CampaignResult JSON here")
     p.set_defaults(func=cmd_campaign)
@@ -521,8 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault models to inject (default: all)")
     p.add_argument("--points", type=int, default=50,
                    help="injections per fault model")
-    p.add_argument("--seed", type=int, default=0,
-                   help="RNG seed for the deterministic injection plan")
+    _add_seed_arg(p)
     p.add_argument("--duration", type=float, default=0.25,
                    help="simulated seconds per injection")
     p.add_argument("--workers", type=int, default=1,
@@ -530,6 +614,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the vulnerability maps as JSON here")
     p.set_defaults(func=cmd_faultsim)
+
+    p = sub.add_parser("adversary",
+                       help="adaptive attack search and robustness verdict")
+    p.add_argument("workload", nargs="?", default="blink",
+                   help="bundled workload name (default: blink)")
+    p.add_argument("--scheme", default="nvp,gecko", metavar="S1,S2,..",
+                   help="comma-separated defenses to search and compare")
+    p.add_argument("--strategy", default="anneal",
+                   choices=["grid", "random", "anneal", "halving"])
+    p.add_argument("--objective", default="damage",
+                   choices=["damage", "stealth", "efficiency"])
+    p.add_argument("--budget", type=int, default=32,
+                   help="candidate evaluations per defense")
+    p.add_argument("--batch", type=int, default=8,
+                   help="candidates per search round")
+    _add_seed_arg(p)
+    p.add_argument("--duration", type=float, default=0.05,
+                   help="simulated seconds per candidate")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for candidate batches")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the RobustnessReport JSON here")
+    p.add_argument("--replay", default=None, metavar="PATH",
+                   help="replay the strongest attack from a saved report "
+                        "instead of searching")
+    p.add_argument("--against", default=None, metavar="SCHEME",
+                   help="defense to replay against (default: the scheme "
+                        "the attack was found against)")
+    p.set_defaults(func=cmd_adversary)
     return parser
 
 

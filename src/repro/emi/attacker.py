@@ -22,8 +22,30 @@ class AttackWindow:
     end_s: float
     source: EMISource
 
+    def __post_init__(self) -> None:
+        # An inverted, zero-length, or NaN interval would silently build a
+        # window that never fires; ``not (a < b)`` also catches NaNs, whose
+        # every comparison is false.
+        if not (self.start_s < self.end_s):
+            raise ValueError(
+                f"attack window needs start_s < end_s, got "
+                f"[{self.start_s!r}, {self.end_s!r})")
+
     def active_at(self, t: float) -> bool:
         return self.start_s <= t < self.end_s
+
+    def to_dict(self) -> dict:
+        return {"start_s": self.start_s,
+                # JSON has no Infinity; an open-ended window travels as null.
+                "end_s": None if self.end_s == float("inf") else self.end_s,
+                "source": self.source.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttackWindow":
+        end = data["end_s"]
+        return cls(start_s=data["start_s"],
+                   end_s=float("inf") if end is None else end,
+                   source=EMISource.from_dict(data["source"]))
 
 
 @dataclass
@@ -68,10 +90,16 @@ class AttackSchedule:
     @classmethod
     def from_intervals(cls, intervals: Sequence[Tuple[float, float]],
                        source: EMISource) -> "AttackSchedule":
-        """Same tone transmitted over several (start, end) intervals."""
+        """Same tone transmitted over several (start, end) intervals.
+
+        Raises :class:`ValueError` on inverted, zero-length, or NaN
+        intervals (see :class:`AttackWindow`).
+        """
         return cls([AttackWindow(a, b, source) for a, b in intervals])
 
     def add(self, start_s: float, end_s: float, source: EMISource) -> None:
+        """Insert one window; raises :class:`ValueError` unless
+        ``start_s < end_s`` (NaNs included)."""
         window = AttackWindow(start_s, end_s, source)
         index = bisect.bisect_right(self._starts, start_s)
         self.windows.insert(index, window)
@@ -89,3 +117,14 @@ class AttackSchedule:
     @property
     def ever_active(self) -> bool:
         return bool(self.windows)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe dict, round-trippable via :meth:`from_dict` — the
+        same contract :class:`~repro.runtime.SimResult` offers, so a
+        discovered attack can be saved and replayed by any harness."""
+        return {"windows": [window.to_dict() for window in self.windows]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttackSchedule":
+        return cls([AttackWindow.from_dict(w) for w in data["windows"]])

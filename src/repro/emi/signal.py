@@ -31,6 +31,16 @@ class EMISource:
     def with_frequency(self, frequency_hz: float) -> "EMISource":
         return EMISource(frequency_hz, self.power_dbm)
 
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"frequency_hz": self.frequency_hz,
+                "power_dbm": self.power_dbm}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EMISource":
+        return cls(frequency_hz=data["frequency_hz"],
+                   power_dbm=data["power_dbm"])
+
     def __str__(self) -> str:
         if self.frequency_hz >= 1e9:
             freq = f"{self.frequency_hz / 1e9:g}GHz"

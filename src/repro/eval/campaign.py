@@ -268,7 +268,11 @@ class ExperimentSpec:
     * ``"attack.<field>"`` / ``"path.<field>"`` — spec field replacement;
     * ``"sim.<field>"`` — a :class:`SimConfig` override;
     * ``"duration_s"`` — the run window;
-    * ``"fault"`` — a fault injection per point (:mod:`repro.faultsim`).
+    * ``"fault"`` — a fault injection per point (:mod:`repro.faultsim`);
+    * ``"*"`` — a *paired* axis: each value is a mapping of the targets
+      above, applied together as one grid point.  This is how coupled
+      parameters sweep without a cartesian blow-up — e.g. the adversary
+      search's (attack, path, duration) candidates.
 
     ``baseline=True`` runs the silent-attack baseline for every distinct
     (victim, path, duration, sim config) and attaches forward-progress
@@ -301,37 +305,54 @@ class ExperimentSpec:
         return grid
 
     def _resolve(self, params: Mapping[str, Any]) -> RunSpec:
-        victim, attack, path = self.victim, self.attack, self.path
-        duration = self.duration_s
-        fault = self.fault
+        state = {"victim": self.victim, "attack": self.attack,
+                 "path": self.path, "duration": self.duration_s,
+                 "fault": self.fault}
         overrides = dict(self.sim_overrides)
-        for target, value in params.items():
+
+        def apply(target: str, value: Any) -> None:
             if target == "victim":
-                victim = value
+                state["victim"] = value
             elif target == "attack":
-                attack = value
+                state["attack"] = value
             elif target == "path":
-                path = value
+                state["path"] = value
             elif target == "fault":
-                fault = value
+                state["fault"] = value
             elif target == "duration_s":
-                duration = value
+                state["duration"] = value
             elif target.startswith("victim."):
-                victim = victim.with_overrides(**{target[7:]: value})
+                state["victim"] = \
+                    state["victim"].with_overrides(**{target[7:]: value})
             elif target.startswith("attack."):
-                if not isinstance(attack, AttackSpec):
+                if not isinstance(state["attack"], AttackSpec):
                     raise CampaignError(
                         f"axis {target!r} needs an AttackSpec base attack")
-                attack = replace(attack, **{target[7:]: value})
+                state["attack"] = replace(state["attack"], **{target[7:]: value})
             elif target.startswith("path."):
-                if not isinstance(path, PathSpec):
+                if not isinstance(state["path"], PathSpec):
                     raise CampaignError(
                         f"axis {target!r} needs a PathSpec base path")
-                path = replace(path, **{target[5:]: value})
+                state["path"] = replace(state["path"], **{target[5:]: value})
             elif target.startswith("sim."):
                 overrides[target[4:]] = value
             else:
                 raise CampaignError(f"unknown sweep axis {target!r}")
+
+        for target, value in params.items():
+            if target == "*":
+                if not isinstance(value, Mapping):
+                    raise CampaignError(
+                        f"paired axis '*' values must be mappings of axis "
+                        f"targets, got {type(value).__name__}")
+                for sub_target, sub_value in value.items():
+                    if sub_target == "*":
+                        raise CampaignError("paired axis '*' cannot nest")
+                    apply(sub_target, sub_value)
+            else:
+                apply(target, value)
+        victim, attack, path = state["victim"], state["attack"], state["path"]
+        duration, fault = state["duration"], state["fault"]
         return RunSpec(
             victim=victim, attack=attack, path=path, duration_s=duration,
             sim_overrides=tuple(sorted(overrides.items())),

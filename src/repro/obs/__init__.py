@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Union
 
 from .events import (
+    ADVERSARY_CANDIDATE,
+    ADVERSARY_ROUND,
     BROWNOUT,
     CHECKPOINT_BEGIN,
     CHECKPOINT_FAILED,
@@ -53,6 +55,7 @@ from .metrics import MetricsRegistry, merge_flat, qualified_name
 from .profiler import Profiler
 
 __all__ = [
+    "ADVERSARY_CANDIDATE", "ADVERSARY_ROUND",
     "BROWNOUT", "CHECKPOINT_BEGIN", "CHECKPOINT_FAILED", "CHECKPOINT_OK",
     "COMPLETION", "DETECTION", "EMI_OFF", "EMI_ON", "EVENT_KINDS", "Event",
     "EventBus", "FAULT", "FAULT_INJECTED", "JIT_RESTORE", "MODE_SWITCH",

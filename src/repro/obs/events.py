@@ -61,13 +61,17 @@ JIT_RESTORE = "jit_restore"
 COMPLETION = "completion"
 #: The machine trapped (MachineFault); device is bricked.
 FAULT = "fault"
+#: Adversary search scored one attack candidate (detail: scheme + scores).
+ADVERSARY_CANDIDATE = "adversary_candidate"
+#: Adversary search finished one strategy round (detail: round stats).
+ADVERSARY_ROUND = "adversary_round"
 
 #: Every event kind, in a stable documentation order.
 EVENT_KINDS = (
     REGION_COMMIT, CHECKPOINT_BEGIN, CHECKPOINT_OK, CHECKPOINT_FAILED,
     MONITOR_TRIP, REBOOT, BROWNOUT, EMI_ON, EMI_OFF, FAULT_INJECTED,
     DETECTION, MODE_SWITCH, ROLLBACK_RESTORE, JIT_RESTORE, COMPLETION,
-    FAULT,
+    FAULT, ADVERSARY_CANDIDATE, ADVERSARY_ROUND,
 )
 
 

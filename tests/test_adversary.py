@@ -1,0 +1,480 @@
+"""Adversary subsystem tests: space, objectives, strategies, frontier,
+search determinism, and the NVP-vs-GECKO robustness verdict."""
+
+import math
+import random
+
+import pytest
+
+from repro.adversary import (
+    AdversaryError,
+    AdversarySearch,
+    AttackCandidate,
+    AttackSpace,
+    Bounds,
+    FrontierPoint,
+    ObjectiveWeights,
+    ParetoFrontier,
+    RobustnessReport,
+    adversary_victim,
+    compare_defenses,
+    corruption_rate,
+    make_strategy,
+    more_robust,
+    objective_fn,
+    progress_loss,
+    replay,
+    score,
+    unsimulated,
+)
+from repro.adversary.strategies import (
+    AnnealStrategy,
+    GridStrategy,
+    HalvingStrategy,
+    RandomStrategy,
+)
+from repro.energy.harvester import dbm_to_watts
+from repro.eval.campaign import (
+    AttackSpec,
+    CampaignError,
+    CampaignRunner,
+    ExperimentSpec,
+    PathSpec,
+)
+from repro.eval.common import VictimConfig
+from repro.eval.detection import SCENARIOS
+from repro.runtime import SimResult
+
+#: Fields that must match bit-for-bit between repeated/parallel runs.
+IDENTITY_FIELDS = ("executed_cycles", "completions", "reboots", "brownouts",
+                   "jit_checkpoints", "jit_checkpoint_failures",
+                   "attacks_detected", "final_state")
+
+SEARCH_KW = dict(workload="blink", strategy="anneal", budget=12, seed=0,
+                 duration_s=0.05, batch=6)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """One shared runner: every simulation in this module reuses its
+    compile and baseline caches."""
+    return CampaignRunner()
+
+
+@pytest.fixture(scope="module")
+def report(runner):
+    """The canonical NVP-vs-GECKO comparison several tests assert on."""
+    return compare_defenses(schemes=("nvp", "gecko"), runner=runner,
+                            **SEARCH_KW)
+
+
+# ----------------------------------------------------------------------
+# Space.
+# ----------------------------------------------------------------------
+class TestBounds:
+    def test_clip(self):
+        b = Bounds(1.0, 2.0)
+        assert b.clip(0.0) == 1.0
+        assert b.clip(3.0) == 2.0
+        assert b.clip(1.5) == 1.5
+
+    def test_grid_endpoints(self):
+        b = Bounds(0.0, 10.0)
+        assert b.grid(1) == [0.0]
+        grid = b.grid(3)
+        assert grid == [0.0, 5.0, 10.0]
+
+    def test_log_sampling_stays_in_bounds_and_is_seeded(self):
+        b = Bounds(1.0, 100.0, log=True)
+        values = [b.sample(random.Random(7)) for _ in range(5)]
+        assert all(1.0 <= v <= 100.0 for v in values)
+        assert values == [b.sample(random.Random(7)) for _ in range(5)]
+
+    def test_neighbor_is_clipped(self):
+        b = Bounds(0.0, 1.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 0.0 <= b.neighbor(0.99, rng, scale=1.0) <= 1.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(AdversaryError):
+            Bounds(2.0, 1.0)
+        with pytest.raises(AdversaryError):
+            Bounds(0.0, math.inf)
+        with pytest.raises(AdversaryError):
+            Bounds(0.0, 1.0, log=True)
+
+
+def _candidate(**overrides):
+    base = dict(freq_mhz=27.0, tx_dbm=35.0, distance_m=1.0, start=0.0,
+                duration=1.0, duty=1.0, hop_period=0.1)
+    base.update(overrides)
+    return AttackCandidate(**base)
+
+
+class TestCandidate:
+    def test_full_duty_is_one_continuous_window(self):
+        assert _candidate().windows() == ((0.0, 1.0),)
+
+    def test_bursts_respect_duty(self):
+        c = _candidate(start=0.0, duration=1.0, duty=0.5, hop_period=0.25)
+        windows = c.windows()
+        assert len(windows) == 4
+        assert c.airtime_frac() == pytest.approx(0.5)
+        assert all(b - a == pytest.approx(0.125) for a, b in windows)
+
+    def test_window_clipped_to_run_end(self):
+        c = _candidate(start=0.9, duration=0.5)
+        assert c.windows() == ((0.9, 1.0),)
+
+    def test_energy_is_power_times_airtime(self):
+        c = _candidate(duty=0.5, hop_period=0.25)
+        assert c.energy_j(2.0) == pytest.approx(
+            dbm_to_watts(35.0) * 1.0)
+
+    def test_build_scales_fractions_to_seconds(self):
+        schedule, path = _candidate(start=0.25, duration=0.5).build(0.2)
+        (window,) = schedule.windows
+        assert window.start_s == pytest.approx(0.05)
+        assert window.end_s == pytest.approx(0.15)
+        assert path.distance_m == 1.0
+
+    def test_dict_round_trip(self):
+        c = _candidate(freq_mhz=31.4, duty=0.7)
+        assert AttackCandidate.from_dict(c.to_dict()) == c
+
+
+class TestSpace:
+    def test_sample_is_in_bounds_and_seeded(self):
+        space = AttackSpace()
+        a = space.sample(random.Random(3))
+        b = space.sample(random.Random(3))
+        assert a == b
+        for name, bounds in space.bounds.items():
+            assert bounds.lo <= getattr(a, name) <= bounds.hi
+
+    def test_aggressive_prior(self):
+        space = AttackSpace()
+        c = space.aggressive(27.0)
+        assert c.tx_dbm == space.bounds["tx_dbm"].hi
+        assert c.distance_m == space.bounds["distance_m"].lo
+        assert c.windows() == ((0.0, 1.0),)
+
+    def test_lattice_single_power_row_is_full_power(self):
+        space = AttackSpace()
+        lattice = space.lattice(4)
+        assert len(lattice) == 4
+        assert all(c.tx_dbm == space.bounds["tx_dbm"].hi for c in lattice)
+
+    def test_space_must_bound_every_knob(self):
+        with pytest.raises(AdversaryError):
+            AttackSpace(bounds={"freq_mhz": Bounds(5.0, 60.0)})
+
+
+# ----------------------------------------------------------------------
+# Objectives.
+# ----------------------------------------------------------------------
+class TestObjectives:
+    def test_progress_loss(self):
+        golden = SimResult(executed_cycles=1000.0)
+        assert progress_loss(SimResult(executed_cycles=1000.0),
+                             golden) == pytest.approx(0.0)
+        assert progress_loss(SimResult(executed_cycles=500.0),
+                             golden) == pytest.approx(0.5)
+
+    def test_progress_loss_scales_with_fidelity(self):
+        golden = SimResult(executed_cycles=1000.0)
+        partial = SimResult(executed_cycles=250.0)
+        assert progress_loss(partial, golden,
+                             fidelity=0.25) == pytest.approx(0.0)
+
+    def test_corruption_rate_against_golden_outputs(self):
+        golden = SimResult(committed_outputs=[[1, 2, 3]])
+        corrupt = SimResult(committed_outputs=[[1, 2, 3], [9, 9, 9]])
+        assert corruption_rate(corrupt, golden) == pytest.approx(0.5)
+        assert corruption_rate(SimResult(), golden) == 0.0
+
+    def test_brick_dominates_damage(self):
+        golden = SimResult(executed_cycles=1000.0,
+                           committed_outputs=[[1]])
+        bricked = SimResult(executed_cycles=900.0, final_state="failed")
+        scores = score(_candidate(), bricked, golden, duration_s=0.1)
+        assert scores.bricked
+        assert scores.damage >= 2.0
+
+    def test_unsimulated_costs_energy_but_no_damage(self):
+        scores = unsimulated(_candidate(), duration_s=0.1)
+        assert scores.damage == 0.0
+        assert scores.cost_j > 0.0
+
+    def test_stealth_penalizes_detections(self):
+        weights = ObjectiveWeights()
+        golden = SimResult(executed_cycles=1000.0)
+        noisy = SimResult(executed_cycles=500.0, attacks_detected=3)
+        scores = score(_candidate(), noisy, golden, duration_s=0.1)
+        assert objective_fn("stealth")(scores, weights) \
+            < objective_fn("damage")(scores, weights)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(AdversaryError):
+            objective_fn("nonsense")
+
+
+# ----------------------------------------------------------------------
+# Strategies (pure ask/tell, no simulations).
+# ----------------------------------------------------------------------
+def _drain(strategy, value_fn=lambda trial: 0.0):
+    """Run the ask/tell loop to exhaustion with a fake evaluator."""
+    trials = []
+    while True:
+        batch = strategy.ask()
+        if not batch:
+            return trials
+        trials.extend(batch)
+        strategy.tell(batch, [value_fn(t) for t in batch])
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("name", ["grid", "random", "anneal", "halving"])
+    def test_budget_is_respected_and_proposals_are_seeded(self, name):
+        space = AttackSpace()
+        first = _drain(make_strategy(name, space, budget=10, seed=5,
+                                     batch=4))
+        second = _drain(make_strategy(name, space, budget=10, seed=5,
+                                      batch=4))
+        assert 1 <= len(first) <= 10
+        assert [t.candidate for t in first] == \
+            [t.candidate for t in second]
+        assert [t.fidelity for t in first] == [t.fidelity for t in second]
+
+    def test_random_seeds_differ(self):
+        space = AttackSpace()
+        a = _drain(RandomStrategy(space, budget=6, seed=1))
+        b = _drain(RandomStrategy(space, budget=6, seed=2))
+        assert [t.candidate for t in a] != [t.candidate for t in b]
+
+    def test_grid_plan_is_aggressive_lattice(self):
+        space = AttackSpace()
+        trials = _drain(GridStrategy(space, budget=6, seed=0, batch=3))
+        assert len(trials) == 6
+        assert all(t.candidate.tx_dbm == space.bounds["tx_dbm"].hi
+                   for t in trials)
+
+    def test_anneal_spends_exactly_the_budget(self):
+        trials = _drain(AnnealStrategy(AttackSpace(), budget=11, seed=0,
+                                       batch=4),
+                        value_fn=lambda t: t.candidate.freq_mhz)
+        assert len(trials) == 11
+
+    def test_halving_promotes_through_rising_fidelities(self):
+        by_value = {}
+
+        def value_fn(trial):
+            return by_value.setdefault(trial.candidate, trial.candidate.duty)
+
+        trials = _drain(HalvingStrategy(AttackSpace(), budget=14, seed=0,
+                                        batch=16), value_fn)
+        fidelities = [t.fidelity for t in trials]
+        assert fidelities == sorted(fidelities)
+        assert fidelities[0] < 1.0
+        assert fidelities[-1] == 1.0
+        full = [t.candidate for t in trials if t.fidelity == 1.0]
+        low = [t.candidate for t in trials if t.fidelity < 1.0]
+        assert len(full) < len(low)
+        assert set(full) <= set(low)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(AdversaryError):
+            make_strategy("hillclimb", AttackSpace(), budget=4)
+
+
+# ----------------------------------------------------------------------
+# Pareto frontier.
+# ----------------------------------------------------------------------
+def _point(damage, det=0.0, cost=1.0, index=0):
+    return FrontierPoint(damage=damage, detectability=det, cost_j=cost,
+                         index=index)
+
+
+class TestFrontier:
+    def test_dominated_points_are_rejected(self):
+        frontier = ParetoFrontier()
+        assert frontier.add(_point(1.0, det=0, cost=1.0, index=0))
+        assert not frontier.add(_point(0.5, det=0, cost=1.0, index=1))
+        assert len(frontier) == 1
+
+    def test_dominating_point_evicts(self):
+        frontier = ParetoFrontier([_point(0.5, det=1, cost=1.0, index=0)])
+        assert frontier.add(_point(0.8, det=0, cost=0.5, index=1))
+        assert [p.index for p in frontier] == [1]
+
+    def test_incomparable_points_coexist(self):
+        frontier = ParetoFrontier([
+            _point(1.0, det=2, cost=1.0, index=0),
+            _point(0.5, det=0, cost=1.0, index=1),
+        ])
+        assert len(frontier) == 2
+        assert frontier.worst_case().index == 0
+
+    def test_more_robust_orders_frontiers(self):
+        weak = ParetoFrontier([_point(1.0, det=0, cost=1.0, index=0)])
+        strong = ParetoFrontier([_point(0.1, det=0, cost=1.0, index=0)])
+        assert more_robust(strong, weak)
+        assert not more_robust(weak, strong)
+        assert more_robust(ParetoFrontier(), weak)
+
+    def test_dict_round_trip_preserves_order(self):
+        frontier = ParetoFrontier([
+            _point(0.5, det=0, cost=2.0, index=1),
+            _point(1.0, det=1, cost=1.0, index=0),
+        ])
+        clone = ParetoFrontier.from_dict(frontier.to_dict())
+        assert [p.to_dict() for p in clone] == \
+            [p.to_dict() for p in frontier]
+
+
+# ----------------------------------------------------------------------
+# The "*" paired campaign axis the search is built on.
+# ----------------------------------------------------------------------
+class TestCampaignStarAxis:
+    def test_paired_values_apply_together(self):
+        spec = ExperimentSpec(
+            victim=VictimConfig(duration_s=0.01),
+            sweep={"*": [
+                {"path.distance_m": 2.0, "duration_s": 0.02},
+                {"path.distance_m": 4.0, "duration_s": 0.04},
+            ]},
+        )
+        grid = spec.expand()
+        assert len(grid) == 2
+        (_, first), (_, second) = grid
+        assert (first.path.distance_m, first.duration) == (2.0, 0.02)
+        assert (second.path.distance_m, second.duration) == (4.0, 0.04)
+
+    def test_star_value_must_be_a_mapping(self):
+        spec = ExperimentSpec(victim=VictimConfig(duration_s=0.01),
+                              sweep={"*": [2.0]})
+        with pytest.raises(CampaignError):
+            spec.expand()
+
+    def test_star_cannot_nest(self):
+        spec = ExperimentSpec(
+            victim=VictimConfig(duration_s=0.01),
+            sweep={"*": [{"*": {"duration_s": 0.02}}]},
+        )
+        with pytest.raises(CampaignError):
+            spec.expand()
+
+
+# ----------------------------------------------------------------------
+# Search + report (simulation-backed).
+# ----------------------------------------------------------------------
+def _static_fig13_damage(runner):
+    """Damage of the paper's static f-spread schedule against NVP, scored
+    exactly like the search scores candidates."""
+    victim = adversary_victim(workload="blink", scheme="nvp",
+                              duration_s=SEARCH_KW["duration_s"])
+    golden_spec = ExperimentSpec(
+        name="static-golden", victim=victim, attack=AttackSpec.silent(),
+        path=PathSpec.remote(), baseline=False)
+    attack_spec = ExperimentSpec(
+        name="static-fig13", victim=victim,
+        attack=AttackSpec.bursts(SCENARIOS["f-spread"], tx_dbm=35.0),
+        path=PathSpec.remote(5.0), baseline=False)
+    golden = runner.run(golden_spec).outcomes[0].result
+    attacked = runner.run(attack_spec).outcomes[0].result
+    return progress_loss(attacked, golden)
+
+
+class TestSearch:
+    def test_search_beats_the_static_fig13_schedule(self, report, runner):
+        static = _static_fig13_damage(runner)
+        found = report.defenses["nvp"].worst_damage
+        assert found > static
+        assert found > 0.5          # near-starvation, not a minor dent
+
+    def test_gecko_is_more_robust_than_nvp(self, report):
+        assert report.more_robust("gecko", than="nvp")
+        assert not report.more_robust("nvp", than="gecko")
+        assert report.defenses["gecko"].worst_damage \
+            < report.defenses["nvp"].worst_damage
+
+    def test_cross_matrix_covers_every_scheme(self, report):
+        assert report.cross_attacks
+        for scheme in ("nvp", "gecko"):
+            assert len(report.cross_damage[scheme]) \
+                == len(report.cross_attacks)
+
+    def test_serial_and_parallel_fingerprints_match(self):
+        victim = adversary_victim(workload="blink", scheme="nvp",
+                                  duration_s=0.05)
+
+        def search(workers):
+            return AdversarySearch(
+                victim, strategy="anneal", budget=8, seed=3, batch=4,
+                runner=CampaignRunner(workers=workers)).run()
+
+        serial, parallel = search(1), search(2)
+        assert parallel.stats.workers == 2
+        assert serial.fingerprint() == parallel.fingerprint()
+        assert serial.best_damage() == parallel.best_damage()
+
+    def test_same_seed_reproduces_the_report(self, report, runner):
+        again = compare_defenses(schemes=("nvp", "gecko"), runner=runner,
+                                 **SEARCH_KW)
+        for scheme in ("nvp", "gecko"):
+            assert again.defenses[scheme].fingerprint \
+                == report.defenses[scheme].fingerprint
+        assert again.cross_damage == report.cross_damage
+
+    def test_infeasible_space_is_pruned_without_simulation(self, runner):
+        weak = AttackSpace(bounds={
+            "freq_mhz": Bounds(55.0, 60.0),
+            "tx_dbm": Bounds(10.0, 11.0),
+            "distance_m": Bounds(9.0, 10.0, log=True),
+            "start": Bounds(0.0, 0.9),
+            "duration": Bounds(0.05, 1.0),
+            "duty": Bounds(0.1, 1.0),
+            "hop_period": Bounds(0.02, 0.5),
+        })
+        victim = adversary_victim(workload="blink", scheme="nvp",
+                                  duration_s=0.05)
+        result = AdversarySearch(victim, space=weak, strategy="random",
+                                 budget=6, seed=0, batch=3,
+                                 runner=runner).run()
+        assert result.stats.pruned == 6
+        assert result.stats.simulations == 0
+        assert len(result.frontier) == 0
+        assert result.best_damage() == 0.0
+
+    def test_report_json_round_trip(self, report):
+        clone = RobustnessReport.from_dict(report.to_dict())
+        assert clone.to_json() == report.to_json()
+        assert clone.more_robust("gecko", than="nvp")
+        assert clone.render() == report.render()
+
+    def test_found_attack_replays_deterministically(self, report):
+        found = report.defenses["nvp"].worst_case
+        assert found is not None
+        schedule, path = found.to_schedule()
+        assert schedule.ever_active
+        assert path.distance_m == found.distance_m
+        first = replay(found, "blink", "nvp")
+        second = replay(found, "blink", "nvp")
+        for name in IDENTITY_FIELDS:
+            assert getattr(first, name) == getattr(second, name), name
+
+    def test_search_emits_obs_events(self, runner):
+        from repro.obs import (
+            ADVERSARY_CANDIDATE,
+            ADVERSARY_ROUND,
+            Observability,
+        )
+        obs = Observability.for_tracing()
+        victim = adversary_victim(workload="blink", scheme="nvp",
+                                  duration_s=0.02)
+        AdversarySearch(victim, strategy="grid", budget=2, seed=0,
+                        batch=2, runner=runner, obs=obs).run()
+        counts = obs.bus.kind_counts()
+        assert counts.get(ADVERSARY_CANDIDATE) == 2
+        assert counts.get(ADVERSARY_ROUND, 0) >= 1

@@ -244,3 +244,71 @@ class TestAttackSchedule:
         # A linear scan would probe ~500k windows here; bisect probes one
         # (plus the bounded leftward check) per lookup.
         assert calls["n"] <= 300
+
+
+class TestWindowValidation:
+    def test_inverted_window_rejected(self):
+        source = EMISource(27e6, 35)
+        with pytest.raises(ValueError):
+            AttackWindow(2.0, 1.0, source)
+        with pytest.raises(ValueError):
+            AttackSchedule.from_intervals([(2.0, 1.0)], source)
+        schedule = AttackSchedule.silent()
+        with pytest.raises(ValueError):
+            schedule.add(5.0, 4.0, source)
+
+    def test_zero_length_window_rejected(self):
+        source = EMISource(27e6, 35)
+        with pytest.raises(ValueError):
+            AttackWindow(1.0, 1.0, source)
+        with pytest.raises(ValueError):
+            AttackSchedule.from_intervals([(1.0, 1.0)], source)
+
+    def test_nan_window_rejected(self):
+        source = EMISource(27e6, 35)
+        for start, end in [(math.nan, 1.0), (0.0, math.nan),
+                           (math.nan, math.nan)]:
+            with pytest.raises(ValueError):
+                AttackWindow(start, end, source)
+
+    def test_valid_windows_still_construct(self):
+        source = EMISource(27e6, 35)
+        assert AttackWindow(0.0, math.inf, source).active_at(1e9)
+        schedule = AttackSchedule.from_intervals([(0.0, 1.0)], source)
+        schedule.add(2.0, 3.0, source)
+        assert schedule.source_at(2.5) is source
+
+
+class TestScheduleSerialization:
+    def test_source_round_trip(self):
+        source = EMISource(27.5e6, 33.0)
+        clone = EMISource.from_dict(source.to_dict())
+        assert clone.frequency_hz == source.frequency_hz
+        assert clone.power_dbm == source.power_dbm
+
+    def test_schedule_round_trip(self):
+        schedule = AttackSchedule.from_intervals(
+            [(1.0, 2.0), (3.0, 4.0)], EMISource(27e6, 35))
+        clone = AttackSchedule.from_dict(schedule.to_dict())
+        assert [(w.start_s, w.end_s) for w in clone.windows] \
+            == [(w.start_s, w.end_s) for w in schedule.windows]
+        assert clone.source_at(1.5).frequency_hz == 27e6
+        assert clone.source_at(2.5) is None
+
+    def test_always_round_trips_through_null_end(self):
+        schedule = AttackSchedule.always(EMISource(27e6, 35))
+        data = schedule.to_dict()
+        assert data["windows"][0]["end_s"] is None
+        clone = AttackSchedule.from_dict(data)
+        assert clone.source_at(1e9) is not None
+
+    def test_round_trip_preserves_latest_start_wins(self):
+        schedule = AttackSchedule.always(EMISource(27e6, 35))
+        schedule.add(5.0, 6.0, EMISource(100e6, 10))
+        clone = AttackSchedule.from_dict(schedule.to_dict())
+        assert clone.source_at(5.5).frequency_hz == 100e6
+        assert clone.source_at(7.0).frequency_hz == 27e6
+
+    def test_silent_round_trip(self):
+        clone = AttackSchedule.from_dict(AttackSchedule.silent().to_dict())
+        assert not clone.ever_active

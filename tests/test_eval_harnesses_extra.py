@@ -44,3 +44,37 @@ def test_scenario_quiet_baseline():
     assert run.result.completions > 0
     assert run.result.attacks_detected == 0
     assert run.timeline  # record_timeline is on
+
+
+class TestDetectionWindowEdgeCases:
+    """Degenerate attack-window shapes through the Fig. 13 harness."""
+
+    IDENTITY_FIELDS = ("executed_cycles", "completions", "reboots",
+                       "brownouts", "jit_checkpoints",
+                       "jit_checkpoint_failures", "attacks_detected",
+                       "final_state")
+
+    def _run(self, windows):
+        from repro.eval.campaign import CampaignRunner
+        from repro.eval.detection import detection_spec
+        spec = detection_spec([tuple(windows)], ["nvp"], total_s=0.05)
+        return CampaignRunner().run(spec).outcomes[0]
+
+    def test_zero_length_window_surfaces_as_outcome_error(self):
+        # A window with start == end violates the AttackWindow invariant;
+        # the campaign records the ValueError instead of silently running
+        # an attack that never fires.
+        outcome = self._run([(0.4, 0.4)])
+        assert outcome.result is None
+        assert "ValueError" in outcome.error
+
+    def test_back_to_back_windows_equal_one_merged_window(self):
+        # ((0.3, 0.4), (0.4, 0.5)) covers exactly the same instants as
+        # (0.3, 0.5): the shared boundary belongs to the later window, so
+        # the simulation must be bit-identical.
+        split = self._run([(0.3, 0.4), (0.4, 0.5)])
+        merged = self._run([(0.3, 0.5)])
+        assert split.error is None and merged.error is None
+        for name in self.IDENTITY_FIELDS:
+            assert getattr(split.result, name) \
+                == getattr(merged.result, name), name
