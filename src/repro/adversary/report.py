@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..emi import AttackSchedule, RemotePath
 from ..eval.campaign import CampaignRunner, ExperimentSpec
 from ..eval.common import VictimConfig, run_attack
+from ..eval.resilient import RetryPolicy
 from ..obs import Observability
 from ..runtime import SimResult
 from .frontier import ParetoFrontier, more_robust
@@ -290,6 +291,7 @@ def compare_defenses(workload: str = "blink",
                      space: Optional[AttackSpace] = None,
                      workers: int = 1,
                      runner: Optional[CampaignRunner] = None,
+                     policy: Optional[RetryPolicy] = None,
                      obs: Optional[Observability] = None
                      ) -> RobustnessReport:
     """Search each defense with the same strategy/budget/seed and compare.
@@ -301,7 +303,7 @@ def compare_defenses(workload: str = "blink",
     replayed against *every* defense, so robustness is judged on matched
     attacks rather than on each search's private trajectory.
     """
-    runner = runner or CampaignRunner(workers=workers)
+    runner = runner or CampaignRunner(workers=workers, policy=policy)
     weights = weights or ObjectiveWeights()
     report = RobustnessReport(workload=workload, strategy=strategy,
                               budget=budget, seed=seed,

@@ -31,6 +31,7 @@ from ..eval.campaign import (
     ExperimentSpec,
     PathSpec,
 )
+from ..eval.resilient import RetryPolicy
 from ..eval.common import VictimConfig
 from ..obs import ADVERSARY_CANDIDATE, ADVERSARY_ROUND, Observability
 from ..runtime import SimResult
@@ -72,7 +73,10 @@ def adversary_victim(workload: str = "blink", scheme: str = "nvp",
 @dataclass
 class Evaluation:
     """One scored candidate: what was tried, at what fidelity, and how
-    it went.  ``pruned`` evaluations never reached the simulator."""
+    it went.  ``pruned`` evaluations never reached the simulator;
+    ``failed`` ones reached it but died there (timeout, crashed worker,
+    or simulation error after the runner's retries) and are scored as
+    zero-damage so the search continues on the surviving batch."""
 
     index: int
     round: int
@@ -81,6 +85,7 @@ class Evaluation:
     scores: AttackScores
     objective: float
     pruned: bool = False
+    failed: bool = False
 
     def to_dict(self) -> dict:
         return {"index": self.index, "round": self.round,
@@ -88,7 +93,8 @@ class Evaluation:
                 "fidelity": self.fidelity,
                 "scores": self.scores.to_dict(),
                 "objective": self.objective,
-                "pruned": self.pruned}
+                "pruned": self.pruned,
+                "failed": self.failed}
 
     @classmethod
     def from_dict(cls, data: dict) -> "Evaluation":
@@ -97,7 +103,8 @@ class Evaluation:
                    fidelity=data["fidelity"],
                    scores=AttackScores.from_dict(data["scores"]),
                    objective=data["objective"],
-                   pruned=data["pruned"])
+                   pruned=data["pruned"],
+                   failed=data.get("failed", False))
 
 
 @dataclass
@@ -107,6 +114,7 @@ class SearchStats:
     evaluations: int = 0
     simulations: int = 0
     pruned: int = 0
+    failures: int = 0
     rounds: int = 0
     workers: int = 1
     wall_time_s: float = 0.0
@@ -162,6 +170,7 @@ class AdversarySearch:
                  weights: Optional[ObjectiveWeights] = None,
                  workers: int = 1,
                  runner: Optional[CampaignRunner] = None,
+                 policy: Optional[RetryPolicy] = None,
                  obs: Optional[Observability] = None,
                  prune_threshold_v: float = PRUNE_THRESHOLD_V) -> None:
         self.victim = victim
@@ -173,7 +182,8 @@ class AdversarySearch:
         self.seed = seed
         self.batch = batch
         self.weights = weights or ObjectiveWeights()
-        self.runner = runner or CampaignRunner(workers=workers)
+        self.runner = runner or CampaignRunner(workers=workers,
+                                               policy=policy)
         self.obs = obs
         self.prune_threshold_v = prune_threshold_v
         self._curve = victim.profile().curve_for(victim.monitor_kind)
@@ -203,7 +213,10 @@ class AdversarySearch:
         return outcome.result
 
     def _evaluate_batch(self, trials: Sequence[Trial],
-                        round_index: int) -> List[SimResult]:
+                        round_index: int) -> List[Optional[SimResult]]:
+        """Simulate one ask-batch; a candidate whose run still fails after
+        the runner's retries yields ``None`` rather than aborting the
+        search — partial batches keep the remaining candidates."""
         points = [{
             "attack": trial.candidate.attack_spec(),
             "path": trial.candidate.path_spec(),
@@ -214,12 +227,12 @@ class AdversarySearch:
                  f"r{round_index}",
             victim=self.victim, baseline=False, sweep={"*": points},
         )
-        results: List[SimResult] = []
+        results: List[Optional[SimResult]] = []
         for outcome in self.runner.run(spec).outcomes:
             if outcome.error or outcome.result is None:
-                raise AdversaryError(
-                    f"candidate evaluation failed: {outcome.error}")
-            results.append(outcome.result)
+                results.append(None)
+            else:
+                results.append(outcome.result)
         return results
 
     def _emit(self, kind: str, detail: str, t: float) -> None:
@@ -253,11 +266,15 @@ class AdversarySearch:
             for trial in trials:
                 index = len(result.evaluations)
                 pruned = id(trial) not in sim_results
-                if pruned:
+                failed = (not pruned) and sim_results[id(trial)] is None
+                if pruned or failed:
                     scores = unsimulated(trial.candidate,
                                          self.victim.duration_s,
                                          trial.fidelity)
-                    stats.pruned += 1
+                    if failed:
+                        stats.failures += 1
+                    else:
+                        stats.pruned += 1
                 else:
                     scores = score(trial.candidate,
                                    sim_results[id(trial)], golden,
@@ -269,10 +286,12 @@ class AdversarySearch:
                 evaluation = Evaluation(
                     index=index, round=stats.rounds,
                     candidate=trial.candidate, fidelity=trial.fidelity,
-                    scores=scores, objective=value, pruned=pruned)
+                    scores=scores, objective=value, pruned=pruned,
+                    failed=failed)
                 result.evaluations.append(evaluation)
                 stats.evaluations += 1
-                if not pruned and trial.fidelity >= FULL_FIDELITY:
+                if not pruned and not failed \
+                        and trial.fidelity >= FULL_FIDELITY:
                     result.frontier.add(FrontierPoint(
                         damage=scores.damage,
                         detectability=float(scores.detections),
@@ -282,7 +301,8 @@ class AdversarySearch:
                     f"{self.victim.scheme} #{index} "
                     f"damage={scores.damage:.3f} det={scores.detections} "
                     f"cost={scores.cost_j:.3f}J"
-                    f"{' pruned' if pruned else ''}",
+                    f"{' pruned' if pruned else ''}"
+                    f"{' failed' if failed else ''}",
                     t=float(index))
             strategy.tell(trials, values)
             stats.rounds += 1

@@ -350,6 +350,7 @@ def cmd_campaign(args) -> int:
         PathSpec,
     )
     from .eval.common import VictimConfig
+    from .eval.resilient import RetryPolicy
 
     if args.program in WORKLOAD_NAMES:
         victim = VictimConfig(workload=args.program)
@@ -386,7 +387,12 @@ def cmd_campaign(args) -> int:
         path=PathSpec.remote(distance_m=args.distance),
         sweep=sweep,
     )
-    campaign = CampaignRunner(workers=args.workers).run(spec)
+    policy = RetryPolicy(retries=args.retries, timeout_s=args.timeout_s,
+                         seed=args.seed)
+    journal = args.journal or args.resume
+    campaign = CampaignRunner(workers=args.workers, policy=policy,
+                              journal=journal,
+                              resume=args.resume).run(spec)
 
     for outcome in campaign.outcomes:
         coords = {}
@@ -400,11 +406,14 @@ def cmd_campaign(args) -> int:
             for axis, value in coords.items()
         )
         if outcome.error:
-            print(f"{label:<28} FAILED: {outcome.error}")
+            kind = outcome.error_kind or "sim_error"
+            print(f"{label:<28} FAILED[{kind}]: {outcome.error}")
         else:
             rate = outcome.progress_rate
             bar = "#" * int(round((1 - rate) * 30))
-            print(f"{label:<28} R={fmt_pct(rate):>8}  {bar}")
+            retried = f"  (attempts: {outcome.attempts})" \
+                if outcome.attempts > 1 else ""
+            print(f"{label:<28} R={fmt_pct(rate):>8}  {bar}{retried}")
     stats = campaign.stats
     print()
     print(f"grid points:   {stats.grid_points}  "
@@ -414,6 +423,16 @@ def cmd_campaign(args) -> int:
     print(f"baselines:     {stats.baseline_runs}  "
           f"(deduplicated: {stats.baseline_cache_hits})")
     print(f"workers:       {stats.workers}")
+    if stats.retries or stats.timeouts or stats.worker_crashes \
+            or stats.budget_exceeded:
+        print(f"resilience:    retries={stats.retries}  "
+              f"timeouts={stats.timeouts}  "
+              f"worker_crashes={stats.worker_crashes}  "
+              f"worker_restarts={stats.worker_restarts}  "
+              f"budget_exceeded={stats.budget_exceeded}")
+    if args.resume:
+        print(f"resume:        {stats.journal_skipped} runs "
+              f"skipped via resume")
     print(f"wall time:     {stats.wall_time_s:.2f} s")
     if args.json:
         campaign.save(args.json)
@@ -591,6 +610,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample", type=int, default=None, metavar="N",
                    help="run a seeded random subsample of N grid points "
                         "instead of the full grid")
+    p.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                   help="per-run wall-clock timeout (pooled runs only); "
+                        "expired runs are tagged 'timeout'")
+    p.add_argument("--retries", type=int, default=0,
+                   help="re-attempts per failed run, with seeded "
+                        "jittered backoff")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="stream completed runs to this JSONL file as "
+                        "they finish")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="skip runs already journaled at PATH (implies "
+                        "--journal PATH, so the file keeps growing)")
     _add_seed_arg(p)
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the CampaignResult JSON here")

@@ -20,6 +20,19 @@ from .campaign import (
     run_campaign,
 )
 from .capacitor_sweep import CAPACITOR_SIZES_F, CapacitorPoint, figure15
+from .resilient import (
+    BUDGET_EXCEEDED,
+    ChaosSpec,
+    ERROR_KINDS,
+    ResilienceError,
+    ResilientExecutor,
+    RETRIED_OK,
+    RetryPolicy,
+    RunJournal,
+    SIM_ERROR,
+    TIMEOUT,
+    WORKER_CRASH,
+)
 from .common import (
     VictimConfig,
     forward_progress,
@@ -56,13 +69,15 @@ from .realtime import DEFAULT_SEGMENTS, Segment, realtime_control
 from .sweeps import SweepPoint, SweepResult, TableOneRow, sweep_device, table_one
 
 __all__ = [
-    "AttackSpec", "AttackThroughput", "CAPACITOR_SIZES_F", "CampaignError",
-    "CampaignResult", "CampaignRunner", "CampaignStats", "CapacitorPoint",
-    "CountermeasureEntry", "DEFAULT_SEGMENTS", "DetectionRun",
-    "DistancePoint", "ExperimentSpec", "HarvestingRow", "OverheadRow",
-    "PathSpec", "PruningRow", "RunOutcome", "RunSpec",
-    "SCENARIOS", "SCHEMES", "Segment", "StaticsRow", "SweepPoint",
-    "SweepResult", "TABLE_II", "TableOneRow", "VictimConfig", "compile_all",
+    "AttackSpec", "AttackThroughput", "BUDGET_EXCEEDED", "CAPACITOR_SIZES_F",
+    "CampaignError", "CampaignResult", "CampaignRunner", "CampaignStats",
+    "CapacitorPoint", "ChaosSpec", "CountermeasureEntry", "DEFAULT_SEGMENTS",
+    "DetectionRun", "DistancePoint", "ERROR_KINDS", "ExperimentSpec",
+    "HarvestingRow", "OverheadRow", "PathSpec", "PruningRow", "RETRIED_OK",
+    "ResilienceError", "ResilientExecutor", "RetryPolicy", "RunJournal",
+    "RunOutcome", "RunSpec", "SCENARIOS", "SCHEMES", "SIM_ERROR", "Segment",
+    "StaticsRow", "SweepPoint", "SweepResult", "TABLE_II", "TIMEOUT",
+    "TableOneRow", "VictimConfig", "WORKER_CRASH", "compile_all",
     "detection_spec", "distance_grid", "figure11", "figure12", "figure13",
     "figure14", "figure15", "fmt_pct", "forward_progress",
     "frequency_sweep_mhz", "gecko_is_unique", "geomean",

@@ -32,16 +32,29 @@ import dataclasses
 import hashlib
 import itertools
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..emi import AttackSchedule, DPIPath, EMISource, RemotePath
 from ..errors import ReproError
-from ..obs import Observability, merge_flat
+from ..obs import (
+    CAMPAIGN_RETRIES,
+    CAMPAIGN_TIMEOUTS,
+    CAMPAIGN_WORKER_RESTARTS,
+    Observability,
+    merge_flat,
+)
 from ..runtime import IntermittentSimulator, Machine, SimResult, runtime_for
 from .common import REMOTE_DISTANCE_M, REMOTE_TX_DBM, VictimConfig
+from .resilient import (
+    ExecStats,
+    ResilientExecutor,
+    RetryPolicy,
+    RunJournal,
+    TaskResult,
+    default_start_method,
+)
 
 
 class CampaignError(ReproError):
@@ -165,6 +178,10 @@ class RunSpec:
     #: the run; its metrics travel back inside :attr:`SimResult.metrics`,
     #: so serial and pooled executions aggregate identically.
     telemetry: bool = False
+    #: Optional misbehavior drill (a :class:`~repro.eval.resilient.ChaosSpec`)
+    #: tripped at the top of the run — how crash/hang/retry recovery is
+    #: exercised end-to-end without faking the executor.
+    chaos: Any = None
 
     @property
     def duration(self) -> float:
@@ -182,11 +199,14 @@ class RunSpec:
 
     def silenced(self) -> "RunSpec":
         """The golden reference point: no attack, no injected fault."""
-        return replace(self, attack=AttackSpec.silent(), fault=None)
+        return replace(self, attack=AttackSpec.silent(), fault=None,
+                       chaos=None)
 
 
 def execute_run(run: RunSpec, compiled) -> SimResult:
     """Build a fresh simulator for one grid point and run it."""
+    if run.chaos is not None:
+        run.chaos.trip()
     victim = run.victim
     duration = run.duration
     injector = None
@@ -269,6 +289,8 @@ class ExperimentSpec:
     * ``"sim.<field>"`` — a :class:`SimConfig` override;
     * ``"duration_s"`` — the run window;
     * ``"fault"`` — a fault injection per point (:mod:`repro.faultsim`);
+    * ``"chaos"`` — a misbehavior drill per point
+      (:class:`~repro.eval.resilient.ChaosSpec`);
     * ``"*"`` — a *paired* axis: each value is a mapping of the targets
       above, applied together as one grid point.  This is how coupled
       parameters sweep without a cartesian blow-up — e.g. the adversary
@@ -294,6 +316,8 @@ class ExperimentSpec:
     fault: Any = None
     #: Attach per-run observability metrics (see :attr:`RunSpec.telemetry`).
     telemetry: bool = False
+    #: Misbehavior drill applied to every point (see :attr:`RunSpec.chaos`).
+    chaos: Any = None
 
     def expand(self) -> List[Tuple[Dict[str, Any], RunSpec]]:
         """The (params, run) grid, in cartesian-product order."""
@@ -307,7 +331,7 @@ class ExperimentSpec:
     def _resolve(self, params: Mapping[str, Any]) -> RunSpec:
         state = {"victim": self.victim, "attack": self.attack,
                  "path": self.path, "duration": self.duration_s,
-                 "fault": self.fault}
+                 "fault": self.fault, "chaos": self.chaos}
         overrides = dict(self.sim_overrides)
 
         def apply(target: str, value: Any) -> None:
@@ -319,6 +343,8 @@ class ExperimentSpec:
                 state["path"] = value
             elif target == "fault":
                 state["fault"] = value
+            elif target == "chaos":
+                state["chaos"] = value
             elif target == "duration_s":
                 state["duration"] = value
             elif target.startswith("victim."):
@@ -358,7 +384,7 @@ class ExperimentSpec:
             sim_overrides=tuple(sorted(overrides.items())),
             mode=self.mode, target_completions=self.target_completions,
             batch_window_s=self.batch_window_s, max_sim_s=self.max_sim_s,
-            fault=fault, telemetry=self.telemetry,
+            fault=fault, telemetry=self.telemetry, chaos=state["chaos"],
         )
 
 
@@ -387,6 +413,14 @@ class RunOutcome:
     baseline: Optional[SimResult] = None   # shared object across outcomes
     progress_rate: Optional[float] = None
     error: Optional[str] = None
+    #: Taxonomy tag (:data:`~repro.eval.resilient.ERROR_KINDS`): why the
+    #: run failed — or :data:`~repro.eval.resilient.RETRIED_OK` when it
+    #: failed at least once and a retry saved it (``ok`` stays True).
+    error_kind: Optional[str] = None
+    #: Traceback tail of the final failed attempt, when one raised.
+    traceback: Optional[str] = None
+    #: Execution attempts this outcome took (journal replays keep theirs).
+    attempts: int = 1
     elapsed_s: float = 0.0
 
     @property
@@ -399,6 +433,9 @@ class RunOutcome:
             "params": _jsonable(self.params),
             "progress_rate": self.progress_rate,
             "error": self.error,
+            "error_kind": self.error_kind,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
             "elapsed_s": self.elapsed_s,
             "result": self.result.to_dict() if self.result else None,
         }
@@ -416,6 +453,13 @@ class CampaignStats:
     failures: int = 0
     workers: int = 1
     wall_time_s: float = 0.0
+    # Resilience accounting (see repro.eval.resilient).
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    worker_restarts: int = 0
+    budget_exceeded: int = 0
+    journal_skipped: int = 0
 
 
 @dataclass
@@ -472,10 +516,12 @@ class CampaignResult:
 
 
 # ----------------------------------------------------------------------
-# Execution: serial fast path or a process pool.
+# Execution: serial fast path or a resilient process pool.
 # ----------------------------------------------------------------------
-#: Per-worker compile cache, installed by the pool initializer (under the
-#: default ``fork`` start method the parent's dict is inherited for free).
+#: Per-worker compile cache, installed by the pool initializer.  The
+#: start method is explicit (:func:`default_start_method`): under
+#: ``fork`` the parent's dict is inherited for free, under ``spawn`` the
+#: initargs pickle carries it — both are tested.
 _WORKER_COMPILED: Dict[Tuple, Any] = {}
 
 
@@ -484,34 +530,75 @@ def _init_worker(compiled: Dict[Tuple, Any]) -> None:
     _WORKER_COMPILED = compiled
 
 
-def _worker_task(task: Tuple[int, RunSpec]):
-    index, run = task
-    start = time.perf_counter()
-    try:
-        result = execute_run(run, _WORKER_COMPILED[run.compile_key()])
-        return index, result, None, time.perf_counter() - start
-    except Exception as exc:  # per-run failure accounting
-        error = f"{type(exc).__name__}: {exc}"
-        return index, None, error, time.perf_counter() - start
+def _pool_execute(run: RunSpec) -> SimResult:
+    """The resilient executor's task function: one grid point per call."""
+    return execute_run(run, _WORKER_COMPILED[run.compile_key()])
+
+
+def _encode_result(result: SimResult) -> dict:
+    return result.to_dict()
+
+
+def _decode_result(data: dict) -> SimResult:
+    return SimResult.from_dict(data)
+
+
+def _digest_fn(name: str):
+    """Content digests for journal/resume matching: the campaign name,
+    the task's slot, and the full (JSON-canonical) run description.  A
+    changed spec digests differently and simply re-executes."""
+    def digest(index: int, run: RunSpec) -> str:
+        payload = json.dumps(_jsonable(dataclasses.asdict(run)),
+                             sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(f"{name}#{index}:{payload}".encode()) \
+            .hexdigest()
+    return digest
 
 
 class CampaignRunner:
     """Executes :class:`ExperimentSpec` grids with compile caching,
-    baseline deduplication, and an optional worker pool.
+    baseline deduplication, and a resilient worker pool.
 
     The compile cache persists across :meth:`run` calls (and can be seeded
     via ``compile_cache``), so multi-stage experiments — e.g. a rate sweep
     followed by failure-rate reruns at the biting frequencies — reuse the
     same compiled artifacts.
+
+    Resilience knobs (see :mod:`repro.eval.resilient`):
+
+    * ``policy`` — per-run timeout, bounded retries with seeded backoff,
+      and a campaign wall-clock budget;
+    * ``journal`` — stream completed runs to a JSONL file as they finish;
+    * ``resume`` — skip runs already journaled at that path (typically
+      the same file), so a campaign killed mid-run finishes where it left
+      off with an identical :meth:`CampaignResult.metrics_fingerprint`;
+    * ``start_method`` — explicit pool start method (default ``fork``
+      where available); ``spawn`` works because the compile cache travels
+      through the pool initializer's pickled initargs;
+    * ``obs`` — campaign-level counters (``campaign.retries``,
+      ``campaign.timeouts``, ``campaign.worker_restarts``) are recorded
+      on this bundle's metrics registry.  They stay out of the per-run
+      metrics, so fingerprints compare clean runs to resumed ones.
     """
 
     def __init__(self, workers: int = 1,
                  compile_cache: Optional[Dict[Tuple, Any]] = None,
-                 reraise: bool = False) -> None:
+                 reraise: bool = False,
+                 policy: Optional[RetryPolicy] = None,
+                 journal: Optional[str] = None,
+                 resume: Optional[str] = None,
+                 start_method: Optional[str] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.workers = max(1, int(workers))
         self.compile_cache: Dict[Tuple, Any] = \
             compile_cache if compile_cache is not None else {}
         self.reraise = reraise
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.journal_path = journal
+        self.resume_path = resume
+        self.start_method = start_method if start_method is not None \
+            else default_start_method()
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def run(self, spec: ExperimentSpec) -> CampaignResult:
@@ -521,14 +608,6 @@ class CampaignRunner:
         if not grid:
             raise CampaignError("spec expanded to an empty grid")
         stats.grid_points = len(grid)
-
-        for _, run in grid:
-            key = run.compile_key()
-            if key in self.compile_cache:
-                stats.compile_cache_hits += 1
-            else:
-                self.compile_cache[key] = run.victim.compile()
-                stats.compiles += 1
 
         # Baseline dedup: one silent run per distinct baseline key.
         baseline_slot: Dict[Tuple, int] = {}
@@ -548,23 +627,47 @@ class CampaignRunner:
         tasks = [(i, run) for i, run in enumerate(baseline_specs)]
         offset = len(tasks)
         tasks += [(offset + i, run) for i, (_, run) in enumerate(grid)]
-        raw = self._run_tasks(tasks)
+
+        # Resume before compiling: fully journaled compile keys are
+        # never needed, so a resumed campaign skips their compiles too.
+        digest = _digest_fn(spec.name)
+        resume = RunJournal.load(self.resume_path) if self.resume_path \
+            else {}
+        needed = {run.compile_key() for index, run in tasks
+                  if digest(index, run) not in resume}
+        for _, run in grid:
+            key = run.compile_key()
+            if key in self.compile_cache:
+                stats.compile_cache_hits += 1
+            elif key in needed:
+                self.compile_cache[key] = run.victim.compile()
+                stats.compiles += 1
+
+        raw = self._run_tasks(tasks, digest=digest, resume=resume,
+                              stats=stats)
+        if self.reraise:
+            self._reraise_first_failure(raw)
 
         baselines = [
-            RunOutcome(index=i, result=result, error=error, elapsed_s=dt)
-            for i, (_, result, error, dt) in enumerate(raw[:offset])
+            RunOutcome(index=i, result=tr.result, error=tr.error,
+                       error_kind=tr.error_kind, traceback=tr.traceback,
+                       attempts=tr.attempts, elapsed_s=tr.elapsed_s)
+            for i, tr in enumerate(raw[:offset])
         ]
         outcomes: List[RunOutcome] = []
-        for i, ((params, run), (_, result, error, dt)) in \
-                enumerate(zip(grid, raw[offset:])):
-            outcome = RunOutcome(index=i, params=params, result=result,
-                                 error=error, elapsed_s=dt)
-            if spec.baseline and result is not None:
+        for i, ((params, run), tr) in enumerate(zip(grid, raw[offset:])):
+            outcome = RunOutcome(index=i, params=params, result=tr.result,
+                                 error=tr.error, error_kind=tr.error_kind,
+                                 traceback=tr.traceback,
+                                 attempts=tr.attempts,
+                                 elapsed_s=tr.elapsed_s)
+            if spec.baseline and tr.result is not None:
                 base = baselines[baseline_slot[run.baseline_key()]].result
                 outcome.baseline = base
                 if base is not None:
                     outcome.progress_rate = (
-                        min(1.0, result.executed_cycles / base.executed_cycles)
+                        min(1.0,
+                            tr.result.executed_cycles / base.executed_cycles)
                         if base.executed_cycles > 0 else 0.0
                     )
             outcomes.append(outcome)
@@ -574,28 +677,60 @@ class CampaignRunner:
                               outcomes=outcomes, baselines=baselines)
 
     # ------------------------------------------------------------------
-    def _run_tasks(self, tasks):
-        if self.workers <= 1 or len(tasks) <= 1:
-            return [self._run_inline(task) for task in tasks]
-        processes = min(self.workers, len(tasks))
-        with multiprocessing.Pool(processes=processes,
-                                  initializer=_init_worker,
-                                  initargs=(self.compile_cache,)) as pool:
-            return pool.map(_worker_task, tasks)
+    def _run_tasks(self, tasks, digest=None, resume=None,
+                   stats: Optional[CampaignStats] = None
+                   ) -> List[TaskResult]:
+        """Dispatch the unified task list through the resilient executor.
 
-    def _run_inline(self, task: Tuple[int, RunSpec]):
-        index, run = task
-        start = time.perf_counter()
-        compiled = self.compile_cache[run.compile_key()]
-        if self.reraise:
-            return index, execute_run(run, compiled), None, \
-                time.perf_counter() - start
+        Serial and pooled execution share one path — taxonomy, retries,
+        budget, journal and resume behave identically — so ``reraise``
+        and failure accounting no longer fork on ``workers``.
+        """
+        exec_stats = ExecStats()
+        journal = RunJournal(self.journal_path) if self.journal_path \
+            else None
+        executor = ResilientExecutor(
+            task_fn=_pool_execute, workers=self.workers,
+            policy=self.policy, initializer=_init_worker,
+            initargs=(self.compile_cache,),
+            start_method=self.start_method, journal=journal,
+            resume=resume, digest_fn=digest or _digest_fn("campaign"),
+            encode=_encode_result, decode=_decode_result,
+            stats=exec_stats)
         try:
-            return index, execute_run(run, compiled), None, \
-                time.perf_counter() - start
-        except Exception as exc:  # per-run failure accounting
-            error = f"{type(exc).__name__}: {exc}"
-            return index, None, error, time.perf_counter() - start
+            raw = executor.run(tasks)
+        finally:
+            if journal is not None:
+                journal.close()
+        if stats is not None:
+            stats.retries = exec_stats.retries
+            stats.timeouts = exec_stats.timeouts
+            stats.worker_crashes = exec_stats.worker_crashes
+            stats.worker_restarts = exec_stats.worker_restarts
+            stats.budget_exceeded = exec_stats.budget_exceeded
+            stats.journal_skipped = exec_stats.journal_skipped
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.count(CAMPAIGN_RETRIES, exec_stats.retries)
+            metrics.count(CAMPAIGN_TIMEOUTS, exec_stats.timeouts)
+            metrics.count(CAMPAIGN_WORKER_RESTARTS,
+                          exec_stats.worker_restarts)
+        return raw
+
+    def _reraise_first_failure(self, raw: List[TaskResult]) -> None:
+        """``reraise=True`` now applies to pooled execution too: serial
+        runs propagate the original exception object, pooled runs raise a
+        :class:`CampaignError` carrying the taxonomy and traceback tail
+        (the original object died with the worker)."""
+        for tr in raw:
+            if tr.error is None:
+                continue
+            if tr.exception is not None:
+                raise tr.exception
+            detail = f"\n{tr.traceback}" if tr.traceback else ""
+            raise CampaignError(
+                f"run {tr.index} failed ({tr.error_kind}): "
+                f"{tr.error}{detail}")
 
 
 def run_campaign(spec: ExperimentSpec, workers: int = 1) -> CampaignResult:

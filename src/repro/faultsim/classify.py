@@ -77,15 +77,18 @@ def detection_signals(result: SimResult, golden: SimResult) -> bool:
 
 
 def classify(result: Optional[SimResult], golden: SimResult,
-             error: Optional[str] = None) -> Outcome:
+             error: Optional[str] = None,
+             error_kind: Optional[str] = None) -> Outcome:
     """Classify one injected run against its golden reference.
 
     ``error`` covers runs the simulator itself gave up on (campaign-level
     failures): an exhausted slice budget is a stall, anything else a trap.
+    ``error_kind`` is the campaign runner's taxonomy tag; a ``timeout``
+    is a wall-clock stall and therefore a hang, like ``max_slices``.
     """
     pattern = golden_pattern(golden)
     if result is None:
-        if error and "max_slices" in error:
+        if error_kind == "timeout" or (error and "max_slices" in error):
             return Outcome.HANG
         return Outcome.BRICK
     if result.final_state == "failed" or result.machine_fault:

@@ -33,6 +33,7 @@ from ..eval.campaign import (
     PathSpec,
 )
 from ..eval.common import VictimConfig
+from ..eval.resilient import RetryPolicy
 from ..isa.operands import NUM_REGS
 from ..runtime import Machine
 from .classify import classify, golden_pattern
@@ -210,15 +211,19 @@ class FaultCampaign:
 
 
 def run_fault_campaign(spec: FaultCampaignSpec, workers: int = 1,
-                       runner: Optional[CampaignRunner] = None
+                       runner: Optional[CampaignRunner] = None,
+                       policy: Optional[RetryPolicy] = None
                        ) -> FaultCampaign:
     """Plan, fan out, classify: one vulnerability map per call.
 
     The compile cache is shared with any caller-provided runner, so a
     multi-scheme study (NVP vs. GECKO over the same workload) compiles
-    each scheme exactly once across all of its campaigns.
+    each scheme exactly once across all of its campaigns.  A ``policy``
+    adds per-injection timeouts and retries; injections that still fail
+    are classified by their taxonomy tag (a ``timeout`` is a hang, a
+    crash a brick) instead of losing the map.
     """
-    runner = runner or CampaignRunner(workers=workers)
+    runner = runner or CampaignRunner(workers=workers, policy=policy)
     key = spec.victim.compile_key()
     compiled = runner.compile_cache.get(key)
     if compiled is None:
@@ -238,7 +243,8 @@ def run_fault_campaign(spec: FaultCampaignSpec, workers: int = 1,
         events = outcome.result.events[-EXCERPT_EVENTS:] \
             if outcome.result is not None else []
         vmap.add(fault,
-                 classify(outcome.result, outcome.baseline, outcome.error),
+                 classify(outcome.result, outcome.baseline, outcome.error,
+                          error_kind=outcome.error_kind),
                  error=outcome.error, events=events)
     return FaultCampaign(spec=spec, map=vmap, campaign=campaign)
 
@@ -248,10 +254,11 @@ def scheme_comparison(workload: str = "crc16",
                       models: Sequence[str] = FAULT_MODELS,
                       points: int = DEFAULT_POINTS, seed: int = 0,
                       duration_s: float = 0.25, workers: int = 1,
-                      runner: Optional[CampaignRunner] = None
+                      runner: Optional[CampaignRunner] = None,
+                      policy: Optional[RetryPolicy] = None
                       ) -> Dict[str, FaultCampaign]:
     """The §VII-B3 experiment shape: one map per scheme, shared cache."""
-    runner = runner or CampaignRunner(workers=workers)
+    runner = runner or CampaignRunner(workers=workers, policy=policy)
     campaigns: Dict[str, FaultCampaign] = {}
     for scheme in schemes:
         spec = FaultCampaignSpec(

@@ -51,12 +51,21 @@ from .export import (
     write_jsonl,
     write_perfetto,
 )
-from .metrics import MetricsRegistry, merge_flat, qualified_name
+from .metrics import (
+    CAMPAIGN_RETRIES,
+    CAMPAIGN_TIMEOUTS,
+    CAMPAIGN_WORKER_RESTARTS,
+    MetricsRegistry,
+    merge_flat,
+    qualified_name,
+)
 from .profiler import Profiler
 
 __all__ = [
     "ADVERSARY_CANDIDATE", "ADVERSARY_ROUND",
-    "BROWNOUT", "CHECKPOINT_BEGIN", "CHECKPOINT_FAILED", "CHECKPOINT_OK",
+    "BROWNOUT", "CAMPAIGN_RETRIES", "CAMPAIGN_TIMEOUTS",
+    "CAMPAIGN_WORKER_RESTARTS",
+    "CHECKPOINT_BEGIN", "CHECKPOINT_FAILED", "CHECKPOINT_OK",
     "COMPLETION", "DETECTION", "EMI_OFF", "EMI_ON", "EVENT_KINDS", "Event",
     "EventBus", "FAULT", "FAULT_INJECTED", "JIT_RESTORE", "MODE_SWITCH",
     "MONITOR_TRIP", "MetricsRegistry", "Observability", "Profiler", "REBOOT",

@@ -30,6 +30,13 @@ Number = Union[int, float]
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
                    1000.0)
 
+#: Campaign-runner resilience counters.  These live on the *runner's*
+#: registry, never in per-run result metrics — a clean sweep and a
+#: crash-resumed one must fingerprint identically.
+CAMPAIGN_RETRIES = "campaign.retries"
+CAMPAIGN_TIMEOUTS = "campaign.timeouts"
+CAMPAIGN_WORKER_RESTARTS = "campaign.worker_restarts"
+
 
 def qualified_name(name: str, labels: Dict[str, object]) -> str:
     """Prometheus-style flat identity: ``name{k=v,k2=v2}`` (sorted keys)."""

@@ -103,6 +103,20 @@ class TestParallel:
             for name in IDENTITY_FIELDS:
                 assert getattr(ser, name) == getattr(par, name), name
 
+    def test_pool_works_under_spawn_start_method(self):
+        """The compile cache must travel by pickled initargs — no silent
+        reliance on fork's copy-on-write inheritance."""
+        spec = ExperimentSpec(
+            name="test-spawn",
+            victim=VictimConfig(duration_s=0.01),
+            attack=AttackSpec.tone(tx_dbm=35.0),
+            sweep={"attack.freq_mhz": [27, 35]},
+        )
+        serial = CampaignRunner(workers=1).run(spec)
+        spawned = CampaignRunner(workers=2, start_method="spawn").run(spec)
+        assert spawned.stats.failures == 0
+        assert spawned.metrics_fingerprint() == serial.metrics_fingerprint()
+
     def test_failure_accounting(self):
         spec = ExperimentSpec(
             victim=VictimConfig(duration_s=0.01),
