@@ -1,0 +1,91 @@
+"""Execution-backend throughput: interpreter vs. threaded-code blocks.
+
+The threaded backend precompiles every basic block of a LinkedProgram
+into a specialized closure — operand indices and symbol addresses bound
+at compile time, per-block cycle costs pre-summed, hooks checked only at
+block boundaries.  This benchmark measures what that buys: simulated
+cycles per wall-clock second on the two ISSUE-designated workloads
+(crc16 and dhrystone), in two regimes:
+
+* **raw** — ``run_slice`` with a one-million-instruction budget, the
+  upper bound where block dispatch dominates;
+* **quantum=128** — simulator-shaped slices, the price actually paid
+  inside :class:`~repro.runtime.IntermittentSimulator`.
+
+The acceptance bar (enforced here and cross-checked in CI) is a >=10x
+raw speedup on both workloads with byte-identical results — equivalence
+itself is asserted test-by-test in ``tests/test_backends.py``.
+"""
+
+import time
+
+from _util import bar, emit, run_once
+
+from repro.core import compile_nvp
+from repro.runtime import Machine, backend_for
+from repro.workloads import source
+
+WORKLOADS = ("crc16", "dhrystone")
+REPEATS = 3
+RAW_BUDGET = 1_000_000
+QUANTUM = 128
+SPEEDUP_FLOOR = 10.0
+
+
+def _throughput(program, backend_name: str, budget: int,
+                repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` simulated cycles per wall second."""
+    backend = backend_for(backend_name)
+    best = 0.0
+    for _ in range(repeats):
+        machine = Machine(program.linked)
+        cycles = 0
+        start = time.perf_counter()
+        while not machine.halted:
+            sliced, fault = backend.run_slice(machine, budget)
+            cycles += sliced
+            assert fault is None
+        elapsed = time.perf_counter() - start
+        best = max(best, cycles / elapsed)
+    return best
+
+
+def _experiment():
+    rows = {}
+    for workload in WORKLOADS:
+        program = compile_nvp(source(workload))
+        raw = {name: _throughput(program, name, RAW_BUDGET)
+               for name in ("interpreter", "threaded")}
+        quantum = {name: _throughput(program, name, QUANTUM)
+                   for name in ("interpreter", "threaded")}
+        rows[workload] = {
+            "raw_cycles_per_s": raw,
+            "quantum_cycles_per_s": quantum,
+            "raw_speedup": raw["threaded"] / raw["interpreter"],
+            "quantum_speedup": quantum["threaded"] / quantum["interpreter"],
+        }
+    return {"budget": RAW_BUDGET, "quantum": QUANTUM, "best_of": REPEATS,
+            "speedup_floor": SPEEDUP_FLOOR, "workloads": rows}
+
+
+def test_backend_speed(benchmark):
+    data = run_once(benchmark, _experiment)
+    lines = [f"Backend throughput (simulated cycles/s, best of "
+             f"{data['best_of']}; raw budget {data['budget']}, "
+             f"quantum {data['quantum']})",
+             f"{'workload':<11} {'regime':<12} {'interpreter':>12} "
+             f"{'threaded':>12} {'speedup':>8}"]
+    for workload, row in data["workloads"].items():
+        for regime, key in (("raw", "raw"), ("quantum=128", "quantum")):
+            interp = row[f"{key}_cycles_per_s"]["interpreter"]
+            threaded = row[f"{key}_cycles_per_s"]["threaded"]
+            speedup = row[f"{key}_speedup"]
+            lines.append(
+                f"{workload:<11} {regime:<12} {interp:>12,.0f} "
+                f"{threaded:>12,.0f} {speedup:>7.1f}x "
+                f"{bar(speedup, maximum=20.0)}")
+    emit("backend_speed", lines, data)
+    for workload, row in data["workloads"].items():
+        assert row["raw_speedup"] >= data["speedup_floor"], \
+            f"{workload}: raw speedup {row['raw_speedup']:.1f}x < " \
+            f"{data['speedup_floor']}x floor"

@@ -43,8 +43,7 @@ def _time_run(program, configure, repeats: int = REPEATS) -> float:
 
 
 def _attach(machine: Machine, obs: Observability) -> None:
-    machine.obs = obs
-    machine._prof = maybe(obs.profiler)
+    machine.attach(obs=obs, profiler=maybe(obs.profiler))
 
 
 def _experiment():

@@ -38,7 +38,8 @@ __version__ = "1.0.0"
 
 def simulate_program(compiled, duration_s: float = 0.5, runtime=None,
                      power=None, attack=None, path=None, device=None,
-                     monitor_kind: str = "adc", config=None):
+                     monitor_kind: str = "adc", config=None,
+                     backend: str = "interpreter"):
     """One-call simulation: build a machine + runtime and run a window.
 
     Args:
@@ -52,6 +53,9 @@ def simulate_program(compiled, duration_s: float = 0.5, runtime=None,
         device: a :class:`~repro.emi.DeviceProfile` (default: FR5994).
         monitor_kind: ``"adc"`` or ``"comp"``.
         config: a :class:`~repro.runtime.SimConfig`.
+        backend: execution backend, ``"interpreter"`` (reference) or
+            ``"threaded"`` (precompiled blocks, ~10x faster, identical
+            results) — see ``docs/execution-backends.md``.
 
     Returns:
         A :class:`~repro.runtime.SimResult`.
@@ -69,6 +73,7 @@ def simulate_program(compiled, duration_s: float = 0.5, runtime=None,
         device_profile=device,
         monitor_kind=monitor_kind,
         config=config,
+        backend=backend,
     )
     return sim.run(duration_s)
 

@@ -292,7 +292,8 @@ def compare_defenses(workload: str = "blink",
                      workers: int = 1,
                      runner: Optional[CampaignRunner] = None,
                      policy: Optional[RetryPolicy] = None,
-                     obs: Optional[Observability] = None
+                     obs: Optional[Observability] = None,
+                     backend: str = "interpreter"
                      ) -> RobustnessReport:
     """Search each defense with the same strategy/budget/seed and compare.
 
@@ -312,7 +313,7 @@ def compare_defenses(workload: str = "blink",
     results: Dict[str, AdversaryResult] = {}
     for scheme in schemes:
         victim = adversary_victim(workload=workload, scheme=scheme,
-                                  duration_s=duration_s)
+                                  duration_s=duration_s, backend=backend)
         victims[scheme] = victim
         results[scheme] = AdversarySearch(
             victim, space=space, strategy=strategy, objective=objective,
@@ -370,11 +371,12 @@ def _cross_evaluate(report: RobustnessReport,
 
 
 def replay(found: FoundAttack, workload: str, scheme: str,
-           duration_s: Optional[float] = None) -> SimResult:
+           duration_s: Optional[float] = None,
+           backend: str = "interpreter") -> SimResult:
     """Re-run a discovered attack through the standard harness."""
     schedule, path = found.to_schedule()
     victim = adversary_victim(
         workload=workload, scheme=scheme,
         duration_s=duration_s if duration_s is not None
-        else found.duration_s)
+        else found.duration_s, backend=backend)
     return run_attack(victim, schedule, path=path)

@@ -96,6 +96,17 @@ def _add_seed_arg(parser: argparse.ArgumentParser) -> None:
                              "(same seed, same run)")
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--backend`` execution-backend selector."""
+    from .runtime import BACKEND_NAMES
+
+    parser.add_argument("--backend", default="interpreter",
+                        choices=list(BACKEND_NAMES),
+                        help="execution backend: 'interpreter' (reference) "
+                             "or 'threaded' (precompiled blocks, ~10x "
+                             "faster, identical results)")
+
+
 def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     """The shared simulate/trace/profile simulation knobs."""
     parser.add_argument("--duration", type=float, default=0.2,
@@ -111,6 +122,7 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--device", default="TI-MSP430FR5994",
                         choices=device_names())
     parser.add_argument("--monitor", default="adc", choices=["adc", "comp"])
+    _add_backend_arg(parser)
 
 
 def _compile(args) -> object:
@@ -164,7 +176,8 @@ def cmd_compile(args) -> int:
 def cmd_run(args) -> int:
     program = _compile(args)
     machine = run_to_completion(program.linked,
-                                max_steps=args.max_steps)
+                                max_steps=args.max_steps,
+                                backend=args.backend)
     print(f"output:  {machine.committed_out}")
     print(f"cycles:  {machine.cycles}")
     print(f"instrs:  {machine.instr_count}")
@@ -211,6 +224,7 @@ def _build_sim(args, program, tracer=None, obs=None) -> IntermittentSimulator:
         config=SimConfig(quantum=64, sleep_min_s=1e-3),
         tracer=tracer,
         obs=obs,
+        backend=args.backend,
     )
 
 
@@ -360,7 +374,7 @@ def cmd_campaign(args) -> int:
     victim = victim.with_overrides(
         device_name=args.device, monitor_kind=args.monitor,
         scheme=args.scheme, duration_s=args.duration,
-        region_budget=args.budget,
+        region_budget=args.budget, backend=args.backend,
     )
     sweep = {"attack.freq_mhz": _parse_axis(args.freqs)}
     if args.distances:
@@ -464,7 +478,7 @@ def cmd_faultsim(args) -> int:
     campaigns = scheme_comparison(
         workload=args.workload, schemes=schemes, models=models,
         points=args.points, seed=args.seed, duration_s=args.duration,
-        workers=args.workers,
+        workers=args.workers, backend=args.backend,
     )
     for scheme, campaign in campaigns.items():
         print(campaign.map.render())
@@ -502,7 +516,8 @@ def cmd_adversary(args) -> int:
         print(f"  {c.freq_mhz:.1f} MHz @ {c.tx_dbm:.1f} dBm, "
               f"{c.distance_m:.1f} m, duty {c.duty:.2f}, "
               f"{found.duration_s:g} s window")
-        result = replay(found, report.workload, scheme)
+        result = replay(found, report.workload, scheme,
+                        backend=args.backend)
         print(f"completions:      {result.completions}")
         print(f"reboots:          {result.reboots}  "
               f"(brownouts: {result.brownouts})")
@@ -519,6 +534,7 @@ def cmd_adversary(args) -> int:
         workload=args.workload, schemes=schemes, strategy=args.strategy,
         budget=args.budget, seed=args.seed, duration_s=args.duration,
         batch=args.batch, objective=args.objective, workers=args.workers,
+        backend=args.backend,
     )
     print(report.render())
     if args.json:
@@ -551,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="execute on stable power")
     _add_program_args(p)
     p.add_argument("--max-steps", type=int, default=10_000_000)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("simulate", help="intermittent simulation")
@@ -623,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip runs already journaled at PATH (implies "
                         "--journal PATH, so the file keeps growing)")
     _add_seed_arg(p)
+    _add_backend_arg(p)
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the CampaignResult JSON here")
     p.set_defaults(func=cmd_campaign)
@@ -642,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated seconds per injection")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the injection grid")
+    _add_backend_arg(p)
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the vulnerability maps as JSON here")
     p.set_defaults(func=cmd_faultsim)
@@ -673,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--against", default=None, metavar="SCHEME",
                    help="defense to replay against (default: the scheme "
                         "the attack was found against)")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_adversary)
     return parser
 

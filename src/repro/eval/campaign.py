@@ -225,6 +225,7 @@ def execute_run(run: RunSpec, compiled) -> SimResult:
         config=victim.sim_config(**dict(run.sim_overrides)),
         fault_injector=injector,
         obs=obs,
+        backend=victim.backend,
     )
     if run.mode == "batch":
         return _run_batch(sim, run)
@@ -288,6 +289,8 @@ class ExperimentSpec:
     * ``"attack.<field>"`` / ``"path.<field>"`` — spec field replacement;
     * ``"sim.<field>"`` — a :class:`SimConfig` override;
     * ``"duration_s"`` — the run window;
+    * ``"backend"`` — the execution backend ("interpreter" | "threaded"),
+      shorthand for ``"victim.backend"``;
     * ``"fault"`` — a fault injection per point (:mod:`repro.faultsim`);
     * ``"chaos"`` — a misbehavior drill per point
       (:class:`~repro.eval.resilient.ChaosSpec`);
@@ -318,6 +321,9 @@ class ExperimentSpec:
     telemetry: bool = False
     #: Misbehavior drill applied to every point (see :attr:`RunSpec.chaos`).
     chaos: Any = None
+    #: Execution backend for every point; ``None`` keeps the victim's own
+    #: :attr:`VictimConfig.backend` (sweepable via the ``"backend"`` axis).
+    backend: Optional[str] = None
 
     def expand(self) -> List[Tuple[Dict[str, Any], RunSpec]]:
         """The (params, run) grid, in cartesian-product order."""
@@ -329,7 +335,9 @@ class ExperimentSpec:
         return grid
 
     def _resolve(self, params: Mapping[str, Any]) -> RunSpec:
-        state = {"victim": self.victim, "attack": self.attack,
+        victim = self.victim if self.backend is None \
+            else self.victim.with_overrides(backend=self.backend)
+        state = {"victim": victim, "attack": self.attack,
                  "path": self.path, "duration": self.duration_s,
                  "fault": self.fault, "chaos": self.chaos}
         overrides = dict(self.sim_overrides)
@@ -347,6 +355,9 @@ class ExperimentSpec:
                 state["chaos"] = value
             elif target == "duration_s":
                 state["duration"] = value
+            elif target == "backend":
+                state["victim"] = \
+                    state["victim"].with_overrides(backend=value)
             elif target.startswith("victim."):
                 state["victim"] = \
                     state["victim"].with_overrides(**{target[7:]: value})

@@ -63,6 +63,10 @@ class VictimConfig:
     #: Inline MiniC source; overrides the bundled ``workload`` lookup so the
     #: CLI can sweep user programs.
     workload_source: Optional[str] = None
+    #: Execution backend advancing the machine ("interpreter" | "threaded").
+    #: Part of :meth:`cache_key` (baselines are per-backend) but not
+    #: :meth:`compile_key` — both backends share one compiled artifact.
+    backend: str = "interpreter"
 
     # -- declarative helpers -------------------------------------------
     def with_overrides(self, **kw) -> "VictimConfig":

@@ -255,7 +255,8 @@ def scheme_comparison(workload: str = "crc16",
                       points: int = DEFAULT_POINTS, seed: int = 0,
                       duration_s: float = 0.25, workers: int = 1,
                       runner: Optional[CampaignRunner] = None,
-                      policy: Optional[RetryPolicy] = None
+                      policy: Optional[RetryPolicy] = None,
+                      backend: str = "interpreter"
                       ) -> Dict[str, FaultCampaign]:
     """The §VII-B3 experiment shape: one map per scheme, shared cache."""
     runner = runner or CampaignRunner(workers=workers, policy=policy)
@@ -263,7 +264,7 @@ def scheme_comparison(workload: str = "crc16",
     for scheme in schemes:
         spec = FaultCampaignSpec(
             victim=fault_victim(workload=workload, scheme=scheme,
-                                duration_s=duration_s),
+                                duration_s=duration_s, backend=backend),
             models=tuple(models), points=points, seed=seed,
             name=f"faultsim-{scheme}",
         )

@@ -1,11 +1,13 @@
 """The injector: one :class:`FaultSpec` armed against one simulation.
 
 A :class:`FaultInjector` implements all three hook surfaces the runtime
-layer exposes — :attr:`Machine.fault_hook` (architectural faults),
-:attr:`NVPRuntime.fault_hook` (checkpoint-image faults), and the
-simulator's monitor-event filter (signal faults) — and wires itself into
-exactly the surfaces its model needs when the simulator calls
-:meth:`attach`.  Every fault fires at most once; injectors are built
+layer exposes — :meth:`Machine.attach`'s ``fault_hook`` (architectural
+faults), :meth:`NVPRuntime.attach`'s ``fault_hook`` (checkpoint-image
+faults), and the simulator's monitor-event filter (signal faults) — and
+wires itself into exactly the surfaces its model needs when the
+simulator calls :meth:`attach`.  Every fault fires at most once (the
+one-shot ``fired`` flag is also what lets the threaded execution backend
+resume whole-block execution after delivery); injectors are built
 per-run inside campaign workers and never shared or pickled.
 """
 
@@ -55,9 +57,9 @@ class FaultInjector:
         self._sim = sim
         model = self.spec.model
         if model in STEP_MODELS:
-            sim.machine.fault_hook = self
+            sim.machine.attach(fault_hook=self)
         elif model in CKPT_MODELS and hasattr(sim.runtime, "fault_hook"):
-            sim.runtime.fault_hook = self
+            sim.runtime.attach(fault_hook=self)
         # SIGNAL_MODELS need no wiring: the simulator routes every monitor
         # event through filter_monitor_event itself.
 

@@ -93,9 +93,34 @@ UNOPS = frozenset({Opcode.MOV, Opcode.NEG, Opcode.NOT})
 #: Opcodes that end a basic block.
 TERMINATORS = frozenset({Opcode.BNZ, Opcode.JMP, Opcode.RET, Opcode.HALT})
 
+#: Opcodes after which linear execution cannot simply continue to the next
+#: instruction slot of the same block: control transfers away (and, for
+#: ``CALL``, comes back to the *following* slot via ``RET``).  Block
+#: compilers (:mod:`repro.runtime.threaded`) must end a block here even
+#: though ``CALL`` is not an IR-level terminator.
+BLOCK_ENDERS = TERMINATORS | {Opcode.CALL}
+
 #: Opcodes with side effects that must not be re-executed speculatively and
 #: around which GECKO places region boundaries (§VI-B: I/O, calls, async).
 IO_OPS = frozenset({Opcode.OUT, Opcode.SENSE})
+
+#: Opcodes that write non-volatile memory (the FRAM wear/commit surface).
+NVM_WRITE_OPS = frozenset({Opcode.ST, Opcode.CKPT, Opcode.MARK})
+
+#: Interruptible points: instructions whose side effects interact with the
+#: crash-consistency protocol or the outside world — checkpoint stores,
+#: region commits, sensor reads, peripheral output, and NVM stores.
+#: Execution backends must keep architectural state exact *at* these
+#: instructions (a threaded block may batch pure ALU work between them,
+#: but every interruptible effect happens in program order with the same
+#: observable values as the reference interpreter).
+INTERRUPTIBLE_OPS = NVM_WRITE_OPS | IO_OPS
+
+#: Opcodes that can trap at runtime (division by zero, out-of-bounds
+#: memory access).  Block compilers emit inline guards for these so the
+#: trap carries the same message and partial-state semantics as
+#: :meth:`repro.runtime.machine.Machine.step`.
+TRAPPING_OPS = frozenset({Opcode.DIV, Opcode.REM, Opcode.LD, Opcode.ST})
 
 #: Per-opcode cycle costs, calibrated to MSP430FR-class hardware: ordinary
 #: two-operand instructions take ~2 cycles with operand fetch; FRAM loads

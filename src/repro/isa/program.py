@@ -183,6 +183,26 @@ class LinkedProgram:
         """Static count of instructions with opcode ``op``."""
         return sum(1 for instr in self.instrs if instr.op is op)
 
+    def block_leaders(self) -> frozenset:
+        """Machine-level basic-block leaders (absolute instruction indices).
+
+        A leader is any point where control can enter: a function entry,
+        the target of a resolved branch/call, or the slot after a
+        :data:`~repro.isa.instructions.BLOCK_ENDERS` opcode (fallthrough of
+        a conditional branch, the return point after a ``CALL``).  Block
+        compilers (:mod:`repro.runtime.threaded`) end a straight-line
+        block before every leader so every entry pc starts a block.
+        """
+        from .instructions import BLOCK_ENDERS
+
+        leaders = set(self.func_entry.values())
+        for index, instr in enumerate(self.instrs):
+            if self.targets[index] is not None:
+                leaders.add(self.targets[index])
+            if instr.op in BLOCK_ENDERS and index + 1 < len(self.instrs):
+                leaders.add(index + 1)
+        return frozenset(leaders)
+
 
 def link(program: MachineProgram) -> LinkedProgram:
     """Resolve labels, lay out data, and add the runtime control block.

@@ -1,5 +1,11 @@
 """Runtimes and the intermittent-system simulator."""
 
+from .backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InterpreterBackend,
+    backend_for,
+)
 from .gecko_runtime import GeckoRuntime, MODE_JIT, MODE_ROLLBACK
 from .machine import Machine, StepResult, default_sensor_stream, run_to_completion
 from .metrics import (
@@ -19,14 +25,18 @@ from .simulator import (
     SimConfig,
     SimResult,
 )
+from .threaded import ThreadedBackend
 from .trace import TraceEvent, Tracer
 
 __all__ = [
-    "ATTACK_HARVEST_EFFICIENCY", "DeviceState", "GeckoRuntime",
-    "IntermittentSimulator", "MODE_JIT", "MODE_ROLLBACK", "Machine",
+    "ATTACK_HARVEST_EFFICIENCY", "BACKEND_NAMES", "DeviceState",
+    "ExecutionBackend", "GeckoRuntime",
+    "IntermittentSimulator", "InterpreterBackend", "MODE_JIT",
+    "MODE_ROLLBACK", "Machine",
     "NVPRuntime", "OutputCheck", "RollbackRuntime", "RuntimeStats",
-    "SimConfig", "SimResult", "StepResult", "TraceEvent", "Tracer",
-    "build_region_table",
+    "SimConfig", "SimResult", "StepResult", "ThreadedBackend",
+    "TraceEvent", "Tracer",
+    "backend_for", "build_region_table",
     "check_outputs", "checkpoint_failure_rate", "default_sensor_stream",
     "execute_slice", "forward_progress_rate", "progress_timeline",
     "relative_throughput", "run_to_completion",

@@ -27,7 +27,7 @@ from typing import Tuple
 
 from ..isa.program import LinkedProgram
 from ..obs import MODE_SWITCH, ROLLBACK_RESTORE
-from .machine import Machine
+from .machine import _UNSET, Machine
 from .nvp import NVPRuntime, RuntimeStats
 from .rollback import RollbackRuntime
 
@@ -64,11 +64,22 @@ class GeckoRuntime:
         #: Observability bundle (:mod:`repro.obs`), simulator-attached.
         self.obs = None
 
+    def attach(self, fault_hook=_UNSET, obs=_UNSET) -> None:
+        """Register runtime hooks (mirrors :meth:`Machine.attach`).
+
+        The observability bundle is shared with the inner JIT protocol so
+        checkpoint begin/ok/fail events land on the same bus regardless
+        of mode; the checkpoint-fault hook is forwarded there too, so
+        injected image corruption lands on the same code path as NVP's.
+        """
+        if fault_hook is not _UNSET:
+            self._jit.attach(fault_hook=fault_hook)
+        if obs is not _UNSET:
+            self.obs = obs
+            self._jit.attach(obs=obs)
+
     def attach_obs(self, obs) -> None:
-        """Share one bundle with the inner JIT protocol so checkpoint
-        begin/ok/fail events land on the same bus regardless of mode."""
-        self.obs = obs
-        self._jit.attach_obs(obs)
+        self.attach(obs=obs)
 
     # -- mode helpers ---------------------------------------------------
     @staticmethod

@@ -25,6 +25,7 @@ Peripheral semantics chosen for deterministic crash-consistency testing:
 from __future__ import annotations
 
 import enum
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from ..errors import MachineFault
@@ -84,6 +85,19 @@ class StepResult(enum.Enum):
     HALTED = "halted"
 
 
+#: Sentinel distinguishing "leave this hook alone" from "detach it".
+_UNSET = object()
+
+
+def _deprecated_assign(name: str) -> None:
+    warnings.warn(
+        f"direct assignment to Machine.{name} is deprecated; use "
+        f"Machine.attach({name}=...) so every execution backend sees the "
+        f"hook",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
 class Machine:
     """Interpreter for a linked program with power-failure support."""
 
@@ -118,17 +132,67 @@ class Machine:
         self._addr_cache: Dict[str, int] = {
             name: base for name, (base, _) in program.symtab.items()
         }
-        #: Fault-injection hook (:mod:`repro.faultsim`).  When set, its
-        #: ``before_step(machine)`` runs before each instruction and may
-        #: mutate architectural state; returning True skips the fetched
-        #: instruction entirely (Moro et al.'s instruction-skip model).
-        self.fault_hook = None
-        #: Observability (:mod:`repro.obs`): the simulator attaches its
-        #: bundle here so region commits become bus events.  ``_prof``
-        #: is the pre-resolved profiler (None unless attached *and*
-        #: enabled), keeping the per-step cost to one identity check.
-        self.obs = None
+        # Hook registration (see :meth:`attach`): the fault-injection hook
+        # (:mod:`repro.faultsim`), the observability bundle
+        # (:mod:`repro.obs`), and the pre-resolved profiler (None unless
+        # attached *and* enabled, keeping the per-step cost to one
+        # identity check).  Execution backends read the private fields
+        # directly; everyone else goes through :meth:`attach`.
+        self._fault_hook = None
+        self._obs = None
         self._prof = None
+
+    # ------------------------------------------------------------------
+    # Hook registration.
+    # ------------------------------------------------------------------
+    def attach(self, fault_hook=_UNSET, obs=_UNSET, profiler=_UNSET) -> None:
+        """Register (or detach, by passing ``None``) execution hooks.
+
+        This is the one supported way to wire monitors into a machine;
+        every :class:`~repro.runtime.backend.ExecutionBackend` honors
+        hooks registered here identically.
+
+        Args:
+            fault_hook: a :mod:`repro.faultsim`-style hook whose
+                ``before_step(machine)`` runs before each instruction and
+                may mutate architectural state; returning True skips the
+                fetched instruction (Moro et al.'s instruction-skip
+                model).  Hooks exposing a ``fired`` attribute let the
+                threaded backend resume whole-block execution once the
+                one-shot fault has been delivered; a hook without
+                ``fired`` pins execution to exact per-instruction
+                stepping forever.
+            obs: an :class:`~repro.obs.Observability` bundle — region
+                commits become bus events.
+            profiler: the pre-resolved cycle profiler (or ``None``);
+                usually ``maybe(obs.profiler)``.
+        """
+        if fault_hook is not _UNSET:
+            self._fault_hook = fault_hook
+        if obs is not _UNSET:
+            self._obs = obs
+        if profiler is not _UNSET:
+            self._prof = profiler
+
+    @property
+    def fault_hook(self):
+        """The registered fault hook (see :meth:`attach`)."""
+        return self._fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        _deprecated_assign("fault_hook")
+        self._fault_hook = hook
+
+    @property
+    def obs(self):
+        """The registered observability bundle (see :meth:`attach`)."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, bundle) -> None:
+        _deprecated_assign("obs")
+        self._obs = bundle
 
     # ------------------------------------------------------------------
     # Memory helpers.
@@ -214,7 +278,7 @@ class Machine:
             return 0
         if not 0 <= self.pc < len(self.program.instrs):
             raise MachineFault(f"program counter out of range: {self.pc}")
-        if self.fault_hook is not None and self.fault_hook.before_step(self):
+        if self._fault_hook is not None and self._fault_hook.before_step(self):
             # Instruction skip: fetched and charged, no architectural
             # effect; control falls through to pc+1 regardless of opcode.
             instr = self.program.instrs[self.pc]
@@ -343,15 +407,42 @@ class Machine:
         self.write_word("__sensor_idx", 0, self.sensor_cursor)
         self._commit_output()
         self.marks_executed += 1
-        if self.obs is not None:
-            self.obs.emit(REGION_COMMIT, f"region={instr.region or 0}")
+        if self._obs is not None:
+            self._obs.emit(REGION_COMMIT, f"region={instr.region or 0}")
 
     def _commit_output(self) -> None:
         self.committed_out.extend(self.out_buffer)
         self.out_buffer.clear()
 
-    def run(self, max_steps: int = 10_000_000) -> StepResult:
-        """Run until HALT (or until ``max_steps``, raising on overrun)."""
+    def run(self, max_steps: int = 10_000_000,
+            backend: object = None) -> StepResult:
+        """Run until HALT (or until ``max_steps``, raising on overrun).
+
+        Args:
+            max_steps: instruction-count budget.
+            backend: an :class:`~repro.runtime.backend.ExecutionBackend`
+                (or backend name) to run under; ``None`` keeps the
+                classic per-instruction interpreter loop.
+        """
+        if backend is not None:
+            from .backend import backend_for
+
+            resolved = backend_for(backend) if isinstance(backend, str) \
+                else backend
+            remaining = max_steps
+            while remaining > 0 and not self.halted:
+                executed_before = self.instr_count
+                _, fault = resolved.run_slice(self, remaining)
+                if fault is not None:
+                    raise fault
+                executed = self.instr_count - executed_before
+                if executed == 0 and not self.halted:
+                    break
+                remaining -= executed
+            if self.halted:
+                return StepResult.HALTED
+            raise MachineFault(
+                f"program did not halt within {max_steps} steps")
         for _ in range(max_steps):
             if self.halted:
                 return StepResult.HALTED
@@ -363,8 +454,13 @@ class Machine:
 
 def run_to_completion(program: LinkedProgram,
                       sensor_stream: Optional[Callable[[int], int]] = None,
-                      max_steps: int = 10_000_000) -> Machine:
-    """Convenience: execute a program on stable power and return the machine."""
+                      max_steps: int = 10_000_000,
+                      backend: object = None) -> Machine:
+    """Convenience: execute a program on stable power and return the machine.
+
+    ``backend`` selects the execution backend (name or instance); ``None``
+    uses the reference interpreter loop.
+    """
     machine = Machine(program, sensor_stream=sensor_stream)
-    machine.run(max_steps=max_steps)
+    machine.run(max_steps=max_steps, backend=backend)
     return machine

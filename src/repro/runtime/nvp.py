@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple
 from ..isa.instructions import CYCLES, Opcode
 from ..isa.operands import NUM_REGS
 from ..obs import CHECKPOINT_BEGIN, JIT_RESTORE
-from .machine import JIT_OUT_CAPACITY, Machine
+from .machine import _UNSET, JIT_OUT_CAPACITY, Machine
 
 _ST = CYCLES[Opcode.ST]
 _LD = CYCLES[Opcode.LD]
@@ -57,8 +57,15 @@ class NVPRuntime:
         #: Observability bundle (:mod:`repro.obs`), simulator-attached.
         self.obs = None
 
+    def attach(self, fault_hook=_UNSET, obs=_UNSET) -> None:
+        """Register runtime hooks (mirrors :meth:`Machine.attach`)."""
+        if fault_hook is not _UNSET:
+            self.fault_hook = fault_hook
+        if obs is not _UNSET:
+            self.obs = obs
+
     def attach_obs(self, obs) -> None:
-        self.obs = obs
+        self.attach(obs=obs)
 
     # -- simulator interface -------------------------------------------
     def monitor_enabled(self, machine: Machine) -> bool:

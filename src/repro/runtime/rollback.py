@@ -21,7 +21,7 @@ from ..isa.instructions import CYCLES, Instr, Opcode
 from ..isa.operands import Imm, MASK32, NUM_REGS, PReg, trunc_div, trunc_rem, wrap32
 from ..isa.program import LinkedProgram
 from ..core.plans import RegionPlan, SliceExec, SlotLoad
-from .machine import Machine
+from .machine import _UNSET, Machine
 from .nvp import RuntimeStats
 
 _LD = CYCLES[Opcode.LD]
@@ -146,8 +146,13 @@ class RollbackRuntime:
         #: Observability bundle (:mod:`repro.obs`), simulator-attached.
         self.obs = None
 
+    def attach(self, obs=_UNSET) -> None:
+        """Register runtime hooks (mirrors :meth:`Machine.attach`)."""
+        if obs is not _UNSET:
+            self.obs = obs
+
     def attach_obs(self, obs) -> None:
-        self.obs = obs
+        self.attach(obs=obs)
 
     # -- simulator interface -------------------------------------------
     def monitor_enabled(self, machine: Machine) -> bool:

@@ -38,6 +38,7 @@ from ..errors import MachineFault, SimulationError
 from ..energy.power_system import PowerSystem
 from ..obs import EMI_OFF, EMI_ON, MONITOR_TRIP, Observability
 from ..obs.profiler import maybe as _maybe_prof
+from .backend import ExecutionBackend, backend_for
 from .machine import Machine
 
 #: Fraction of the incident attack RF the harvester rectifies back into
@@ -151,9 +152,14 @@ class IntermittentSimulator:
                  config: Optional[SimConfig] = None,
                  tracer=None,
                  fault_injector=None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 backend: Union[str, ExecutionBackend] = "interpreter") -> None:
         self.machine = machine
         self.runtime = runtime
+        #: Execution backend advancing the machine inside running slices
+        #: (name or :class:`ExecutionBackend` instance).
+        self.backend = backend_for(backend) if isinstance(backend, str) \
+            else backend
         self.power = power
         self.attack = attack or AttackSchedule.silent()
         self.path = path or RemotePath()
@@ -180,8 +186,7 @@ class IntermittentSimulator:
             if tracer is not None:
                 tracer.subscribe(obs.bus)
             self._prof = _maybe_prof(obs.profiler)
-            machine.obs = obs
-            machine._prof = self._prof
+            machine.attach(obs=obs, profiler=self._prof)
             attach = getattr(runtime, "attach_obs", None)
             if attach is not None:
                 attach(obs)
@@ -273,16 +278,8 @@ class IntermittentSimulator:
     def _slice_running(self, result: SimResult) -> None:
         machine = self.machine
         prof = self._prof
-        cycles = 0
-        fault = None
         t0 = time.perf_counter() if prof is not None else 0.0
-        try:
-            for _ in range(self.config.quantum):
-                if machine.halted:
-                    break
-                cycles += machine.step()
-        except (MachineFault, SimulationError) as exc:
-            fault = exc
+        cycles, fault = self.backend.run_slice(machine, self.config.quantum)
         if prof is not None:
             prof.add_wall("machine.step", time.perf_counter() - t0)
         self._record_cycles(cycles, result)

@@ -1,0 +1,442 @@
+"""Threaded-code execution backend: precompiled basic-block closures.
+
+The reference interpreter (:meth:`repro.runtime.machine.Machine.step`)
+fetches one :class:`~repro.isa.instructions.Instr` dataclass per cycle and
+re-decodes its operands every time.  This backend instead compiles each
+machine-level basic block — once, lazily, per :class:`LinkedProgram` —
+into a specialized Python function in which every compile-time-known
+quantity is already a literal:
+
+* register indices and immediates are inlined (no ``_value`` dispatch),
+* symbol base addresses are resolved (a static ``LD``/``ST`` offset
+  becomes one constant list index, bounds-checked at compile time),
+* 32-bit wrapping is inlined as integer arithmetic,
+* per-block cycle/instruction costs are pre-summed and flushed in
+  batches.
+
+Equivalence contract (checked byte-for-byte by ``tests/test_backends.py``
+and the CI cross-check):
+
+* **State** — registers, memory, wear counters, output buffers, sensor
+  cursor, checkpoint/commit bookkeeping, ``pc``, ``cycles``,
+  ``instr_count`` all match the interpreter after every
+  :meth:`ThreadedBackend.run_slice`, because block code performs the
+  same effects in the same order with the same wrapping quirks (e.g.
+  ``ST`` stores unwrapped operand values, ``CALL`` return-slot writes
+  bump no wear, comparison results are ``int`` not ``bool``).
+* **Traps** — division by zero, out-of-bounds accesses and runaway
+  program counters raise :class:`~repro.errors.MachineFault` with the
+  interpreter's exact message, and with ``pc``/``cycles``/
+  ``instr_count`` reflecting only the instructions *before* the faulting
+  one (the interpreter charges cost after dispatch).
+* **Hooks** — a fault hook registered via :meth:`Machine.attach`
+  forces exact per-instruction stepping while it is *armed*: blocks are
+  bypassed until the hook's one-shot ``fired`` flag flips, after which
+  whole-block execution resumes (``before_step`` of a fired
+  :class:`~repro.faultsim.injector.FaultInjector` is a no-op, so
+  skipping the call is observationally identical).  A hook without a
+  ``fired`` attribute, or an attached profiler (whose per-opcode cycle
+  attribution is inherently per-instruction), pins the whole slice to
+  the reference path.
+* **Interruptible points** — ``MARK`` region commits and ``SENSE``
+  reads call out of the block (observability bus, user sensor streams),
+  so generated code synchronizes ``pc``/``cycles``/``instr_count``
+  exactly before them.  Power events and monitor sampling only happen
+  between slices, and a slice never executes more instructions than its
+  budget: oversized blocks fall back to single-stepping, so
+  slice-boundary timing is identical to the interpreter's.
+
+Block functions close over nothing picklable-hostile on the program:
+compiled blocks live in a module-level cache keyed by ``id(program)``
+with a weakref guard, so :class:`LinkedProgram` instances remain
+picklable for campaign worker pools.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MachineFault, SimulationError
+from ..isa.instructions import BLOCK_ENDERS, Instr, Opcode
+from ..isa.operands import Imm, PReg, trunc_div, trunc_rem
+from ..isa.program import LinkedProgram
+from .machine import Machine
+
+#: Maximum instructions per compiled block.  Bounded so that the
+#: budget-respecting fallback ("block longer than the remaining slice
+#: budget → single-step") degrades at most the tail of a slice, and so
+#: a block is never larger than the simulator's default quantum.
+MAX_BLOCK_LEN = 32
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+class CompiledBlock:
+    """One compiled straight-line block: a closure plus its static costs."""
+
+    __slots__ = ("fn", "n", "cycles", "start")
+
+    def __init__(self, fn, n: int, cycles: int, start: int) -> None:
+        self.fn = fn
+        self.n = n
+        self.cycles = cycles
+        self.start = start
+
+
+def _wrap(expr: str) -> str:
+    """Inline ``wrap32`` (signed 32-bit two's complement) as arithmetic."""
+    return f"((({expr}) & {_MASK}) ^ {_SIGN}) - {_SIGN}"
+
+
+def _operand(operand) -> str:
+    """Expression for an operand's value: register read or literal."""
+    if isinstance(operand, PReg):
+        return f"regs[{operand.index}]"
+    if isinstance(operand, Imm):
+        return repr(operand.value)
+    raise MachineFault(f"bad operand {operand!r}")
+
+
+class _BlockCompiler:
+    """Compiles the block starting at one pc into a Python closure."""
+
+    def __init__(self, program: LinkedProgram, start: int,
+                 leaders: frozenset) -> None:
+        self.program = program
+        self.start = start
+        self.leaders = leaders
+        self.lines: List[str] = []
+        self.env: Dict[str, object] = {
+            "MachineFault": MachineFault,
+            "trunc_div": trunc_div,
+            "trunc_rem": trunc_rem,
+        }
+        # Cycles/instructions accumulated since the last flush; traps and
+        # out-of-block calls flush so observers see exact interpreter
+        # accounting (cost lands *after* an instruction dispatches).
+        self.pending_cycles = 0
+        self.pending_count = 0
+        self.total_cycles = 0
+        self.count = 0
+
+    # -- emission helpers ----------------------------------------------
+    def emit(self, line: str, depth: int = 1) -> None:
+        self.lines.append("    " * depth + line)
+
+    def flush_stmts(self) -> List[str]:
+        stmts = []
+        if self.pending_cycles:
+            stmts.append(f"m.cycles += {self.pending_cycles}")
+        if self.pending_count:
+            stmts.append(f"m.instr_count += {self.pending_count}")
+        return stmts
+
+    def flush(self, depth: int = 1) -> None:
+        for stmt in self.flush_stmts():
+            self.emit(stmt, depth)
+        self.pending_cycles = 0
+        self.pending_count = 0
+
+    def trap(self, pc: int, message_expr: str, depth: int) -> None:
+        """Emit a trap path: exact pc/cycle state, interpreter message."""
+        self.emit(f"m.pc = {pc}", depth)
+        for stmt in self.flush_stmts():
+            self.emit(stmt, depth)
+        self.emit(f"raise MachineFault({message_expr})", depth)
+
+    def addr_expr(self, pc: int, instr: Instr) -> str:
+        """Effective-address expression for LD/ST, guards included."""
+        base, size = self.program.symtab[instr.sym.name]
+        if isinstance(instr.off, Imm):
+            offset = instr.off.value
+            if 0 <= offset < size:
+                return repr(base + offset)
+            # Statically out of bounds: always traps, exact message.
+            message = (f"pc={pc}: access {instr.sym.name}[{offset}] out "
+                       f"of bounds (size {size})")
+            self.emit("if True:")
+            self.trap(pc, repr(message), depth=2)
+            return repr(base)  # unreachable
+        off = _operand(instr.off)
+        self.emit(f"_o = {off}")
+        self.emit(f"if _o < 0 or _o >= {size}:")
+        message = (f'f"pc={pc}: access {instr.sym.name}[{{_o}}] '
+                   f'out of bounds (size {size})"')
+        self.trap(pc, message, depth=2)
+        return f"{base} + _o"
+
+    # -- per-opcode code generation ------------------------------------
+    def compile(self) -> CompiledBlock:
+        program = self.program
+        instrs = program.instrs
+        pc = self.start
+        while True:
+            instr = instrs[pc]
+            self.instruction(pc, instr)
+            self.pending_cycles += instr.cycles
+            self.total_cycles += instr.cycles
+            self.pending_count += 1
+            self.count += 1
+            if instr.op in BLOCK_ENDERS:
+                break
+            pc += 1
+            if (pc >= len(instrs) or pc in self.leaders
+                    or self.count >= MAX_BLOCK_LEN):
+                self.emit(f"m.pc = {pc}")
+                break
+        self.flush()
+        body = "\n".join(self.lines) or "    pass"
+        source = f"def __tblock(m, regs, mem, wear):\n{body}\n"
+        code = compile(source, f"<threaded-block@{self.start}>", "exec")
+        namespace = dict(self.env)
+        exec(code, namespace)  # noqa: S102 - trusted generated code
+        return CompiledBlock(namespace["__tblock"], self.count,
+                             self.total_cycles, self.start)
+
+    def instruction(self, pc: int, instr: Instr) -> None:  # noqa: C901
+        op = instr.op
+        emit = self.emit
+        if op is Opcode.LI or op is Opcode.MOV:
+            emit(f"regs[{instr.dst.index}] = {_operand(instr.a)}")
+        elif op is Opcode.ADD:
+            expr = f"{_operand(instr.a)} + {_operand(instr.b)}"
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.SUB:
+            expr = f"{_operand(instr.a)} - {_operand(instr.b)}"
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.MUL:
+            expr = f"{_operand(instr.a)} * {_operand(instr.b)}"
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.DIV or op is Opcode.REM:
+            fn = "trunc_div" if op is Opcode.DIV else "trunc_rem"
+            divisor = instr.b
+            if isinstance(divisor, Imm) and divisor.value != 0:
+                emit(f"regs[{instr.dst.index}] = "
+                     f"{fn}({_operand(instr.a)}, {divisor.value})")
+            else:
+                emit(f"_b = {_operand(divisor)}")
+                emit("if _b == 0:")
+                self.trap(pc, repr(f"pc={pc}: division by zero"), depth=2)
+                emit(f"regs[{instr.dst.index}] = "
+                     f"{fn}({_operand(instr.a)}, _b)")
+        elif op is Opcode.AND:
+            expr = f"{_operand(instr.a)} & {_operand(instr.b)}"
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.OR:
+            expr = f"{_operand(instr.a)} | {_operand(instr.b)}"
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.XOR:
+            expr = f"{_operand(instr.a)} ^ {_operand(instr.b)}"
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.SHL:
+            expr = f"{_operand(instr.a)} << ({_operand(instr.b)} & 31)"
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.SHR:
+            expr = (f"(({_operand(instr.a)}) & {_MASK}) >> "
+                    f"({_operand(instr.b)} & 31)")
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.SAR:
+            expr = f"{_operand(instr.a)} >> ({_operand(instr.b)} & 31)"
+            emit(f"regs[{instr.dst.index}] = {_wrap(expr)}")
+        elif op is Opcode.NEG:
+            emit(f"regs[{instr.dst.index}] = {_wrap('-' + _operand(instr.a))}")
+        elif op is Opcode.NOT:
+            emit(f"regs[{instr.dst.index}] = {_wrap('~' + _operand(instr.a))}")
+        elif op in _COMPARES:
+            # ``1 if … else 0`` keeps the result an int (not bool), like
+            # the interpreter's ``int(a < b)``.
+            emit(f"regs[{instr.dst.index}] = 1 if {_operand(instr.a)} "
+                 f"{_COMPARES[op]} {_operand(instr.b)} else 0")
+        elif op is Opcode.LD:
+            address = self.addr_expr(pc, instr)
+            emit(f"regs[{instr.dst.index}] = mem[{address}]")
+        elif op is Opcode.ST:
+            address = self.addr_expr(pc, instr)
+            if address.isdigit():
+                emit(f"mem[{address}] = {_operand(instr.a)}")
+                emit(f"wear[{address}] += 1")
+            else:
+                emit(f"_a = {address}")
+                # The interpreter stores the raw operand value (no wrap).
+                emit(f"mem[_a] = {_operand(instr.a)}")
+                emit("wear[_a] += 1")
+        elif op is Opcode.BNZ:
+            target = self.program.targets[pc]
+            emit(f"m.pc = {target} if {_operand(instr.a)} != 0 else {pc + 1}")
+        elif op is Opcode.JMP:
+            emit(f"m.pc = {self.program.targets[pc]}")
+        elif op is Opcode.CALL:
+            slot = self.program.ret_slot[instr.callee]
+            # Return-slot write: raw value, no wear bump (interpreter quirk).
+            emit(f"mem[{slot}] = {pc + 1}")
+            emit(f"m.pc = {self.program.targets[pc]}")
+        elif op is Opcode.RET:
+            owner = self.program.owner[pc]
+            emit(f"m.pc = mem[{self.program.ret_slot[owner]}]")
+        elif op is Opcode.HALT:
+            emit(f"m.pc = {pc}")
+            emit("m.halted = True")
+            emit("m._commit_output()")
+        elif op is Opcode.OUT:
+            emit(f"m.out_buffer.append({_operand(instr.a)})")
+        elif op is Opcode.SENSE:
+            # The sensor stream is user code: synchronize exact state first.
+            self.flush()
+            emit(f"m.pc = {pc}")
+            value = "m.sensor_stream(m.sensor_cursor)"
+            emit(f"regs[{instr.dst.index}] = {_wrap(value)}")
+            emit("m.sensor_cursor += 1")
+        elif op is Opcode.CKPT:
+            self.ckpt(instr)
+        elif op is Opcode.MARK:
+            # Region commit emits on the observability bus: synchronize
+            # exact state, then reuse the interpreter's commit routine
+            # verbatim (it reads ``self.pc + 1`` for the re-entry pc).
+            self.flush()
+            emit(f"m.pc = {pc}")
+            name = f"_instr_{pc}"
+            self.env[name] = instr
+            emit(f"m._commit_region({name})")
+        elif op is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive dispatch
+            emit(f"m.pc = {pc}")
+            self.flush()
+            raise MachineFault(f"unimplemented opcode {op}")
+
+    def ckpt(self, instr: Instr) -> None:
+        emit = self.emit
+        symtab = self.program.symtab
+        ckpt0, _ = symtab["__ckpt0"]
+        ckpt1, _ = symtab["__ckpt1"]
+        source = f"regs[{instr.a.index}]"
+        if instr.color is not None:
+            address = (ckpt1 if instr.color else ckpt0) + instr.reg_index
+            emit(f"mem[{address}] = {_wrap(source)}")
+            emit(f"wear[{address}] += 1")
+        elif instr.meta.get("per_reg"):
+            rcolor, _ = symtab["__rcolor"]
+            emit(f"_c = 1 - (mem[{rcolor + instr.reg_index}] & 1)")
+            emit(f"m._pending_rcolor.add({instr.reg_index})")
+            emit(f"_a = {ckpt1 + instr.reg_index} if _c else "
+                 f"{ckpt0 + instr.reg_index}")
+            emit(f"mem[_a] = {_wrap(source)}")
+            emit("wear[_a] += 1")
+        else:
+            color, _ = symtab["__color"]
+            emit(f"_c = 1 - (mem[{color}] & 1)")
+            emit(f"_a = {ckpt1 + instr.reg_index} if _c else "
+                 f"{ckpt0 + instr.reg_index}")
+            emit(f"mem[_a] = {_wrap(source)}")
+            emit("wear[_a] += 1")
+        emit("m.ckpt_stores_executed += 1")
+
+
+_COMPARES = {
+    Opcode.SLT: "<", Opcode.SLE: "<=", Opcode.SEQ: "==",
+    Opcode.SNE: "!=", Opcode.SGT: ">", Opcode.SGE: ">=",
+}
+
+
+class _ProgramBlocks:
+    """Lazily compiled blocks of one program, indexed by start pc."""
+
+    __slots__ = ("blocks", "leaders")
+
+    def __init__(self, program: LinkedProgram) -> None:
+        self.blocks: List[Optional[CompiledBlock]] = [None] * len(
+            program.instrs)
+        self.leaders = program.block_leaders()
+
+
+#: Per-program block caches, keyed by ``id(program)``.  Closures are not
+#: picklable, so blocks must never live on the ``LinkedProgram`` itself
+#: (campaign compile caches are pickled into worker pools); the weakref
+#: guards against id reuse and a finalizer drops dead entries.
+_CACHES: Dict[int, Tuple["weakref.ref", _ProgramBlocks]] = {}
+
+
+def _blocks_for(program: LinkedProgram) -> _ProgramBlocks:
+    key = id(program)
+    entry = _CACHES.get(key)
+    if entry is not None and entry[0]() is program:
+        return entry[1]
+    cache = _ProgramBlocks(program)
+    _CACHES[key] = (weakref.ref(program), cache)
+    weakref.finalize(program, _CACHES.pop, key, None)
+    return cache
+
+
+def compile_block(program: LinkedProgram, start: int) -> CompiledBlock:
+    """Compile (or fetch) the block starting at ``start`` — test hook."""
+    cache = _blocks_for(program)
+    block = cache.blocks[start]
+    if block is None:
+        block = _BlockCompiler(program, start, cache.leaders).compile()
+        cache.blocks[start] = block
+    return block
+
+
+class ThreadedBackend:
+    """Threaded-code backend: whole-block execution, exact semantics."""
+
+    name = "threaded"
+
+    _shared: Optional["ThreadedBackend"] = None
+
+    @classmethod
+    def shared(cls) -> "ThreadedBackend":
+        if cls._shared is None:
+            cls._shared = cls()
+        return cls._shared
+
+    def run_slice(self, machine: Machine,
+                  budget: int) -> Tuple[int, Optional[Exception]]:
+        cycles_start = machine.cycles
+        try:
+            hook = machine._fault_hook
+            if machine._prof is not None or (
+                    hook is not None and not hasattr(hook, "fired")):
+                # Profiler attribution is per-instruction, and a hook
+                # without a one-shot ``fired`` flag may act on any step:
+                # the whole slice runs on the reference path.
+                for _ in range(budget):
+                    if machine.halted:
+                        break
+                    machine.step()
+                return machine.cycles - cycles_start, None
+            cache = _blocks_for(machine.program)
+            blocks = cache.blocks
+            leaders = cache.leaders
+            program = machine.program
+            size = len(program.instrs)
+            executed = 0
+            while executed < budget:
+                if machine.halted or not machine.powered:
+                    break
+                if hook is not None and not hook.fired:
+                    # Armed fault hook: step exactly until it fires.
+                    machine.step()
+                    executed += 1
+                    continue
+                pc = machine.pc
+                if not 0 <= pc < size:
+                    raise MachineFault(
+                        f"program counter out of range: {pc}")
+                block = blocks[pc]
+                if block is None:
+                    block = _BlockCompiler(program, pc, leaders).compile()
+                    blocks[pc] = block
+                if block.n > budget - executed:
+                    # Never overshoot the slice budget: monitor/power
+                    # sampling at slice boundaries must stay exact.
+                    machine.step()
+                    executed += 1
+                    continue
+                block.fn(machine, machine.regs, machine.mem, machine.wear)
+                executed += block.n
+            return machine.cycles - cycles_start, None
+        except (MachineFault, SimulationError) as exc:
+            return machine.cycles - cycles_start, exc

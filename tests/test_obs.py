@@ -441,8 +441,7 @@ class TestDisabledOverhead:
         def disabled():
             machine = Machine(program.linked)
             obs = Observability.disabled()
-            machine.obs = obs
-            machine._prof = maybe(obs.profiler)
+            machine.attach(obs=obs, profiler=maybe(obs.profiler))
             return machine
 
         attached = best_of(disabled)
