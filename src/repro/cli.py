@@ -30,6 +30,13 @@ Installed as ``repro-gecko`` (see pyproject) and runnable as
   the head-to-head robustness verdict; ``--json`` saves the
   RobustnessReport, ``--replay`` re-runs a saved report's strongest
   attack through the standard harness.
+* ``serve``                 — start the always-on campaign server: a
+  content-addressed result store behind a line-JSON protocol (unix
+  socket or localhost TCP) with multi-tenant fair-share queues and
+  worker shards; ``campaign --via-store ADDR`` submits through it.
+* ``store <op>``            — operate on a result store without the
+  server: ``ls``, ``stats``, ``gc``, ``import`` (ingest PR-5 run
+  journals).
 
 All stochastic subcommands (``campaign --sample``, ``faultsim``,
 ``adversary``) share a single ``--seed`` flag with the same meaning:
@@ -404,9 +411,24 @@ def cmd_campaign(args) -> int:
     policy = RetryPolicy(retries=args.retries, timeout_s=args.timeout_s,
                          seed=args.seed)
     journal = args.journal or args.resume
+    store = None
+    dispatcher = None
+    if args.via_store:
+        if args.store:
+            raise SystemExit("error: --store and --via-store are "
+                             "mutually exclusive")
+        from .serve import ServeClient
+        client = ServeClient(args.via_store, tenant=args.tenant)
+        store = client.store_view()
+        dispatcher = client.dispatcher()
+    elif args.store:
+        from .store import ResultStore
+        store = ResultStore(args.store)
     campaign = CampaignRunner(workers=args.workers, policy=policy,
                               journal=journal,
-                              resume=args.resume).run(spec)
+                              resume=args.resume,
+                              store=store,
+                              dispatcher=dispatcher).run(spec)
 
     for outcome in campaign.outcomes:
         coords = {}
@@ -447,6 +469,12 @@ def cmd_campaign(args) -> int:
     if args.resume:
         print(f"resume:        {stats.journal_skipped} runs "
               f"skipped via resume")
+    if args.store or args.via_store:
+        where = f"server {args.via_store}" if args.via_store \
+            else args.store
+        print(f"result store:  hits={stats.store_hits}  "
+              f"misses={stats.store_misses}  puts={stats.store_puts}  "
+              f"({where})")
     print(f"wall time:     {stats.wall_time_s:.2f} s")
     if args.json:
         campaign.save(args.json)
@@ -540,6 +568,107 @@ def cmd_adversary(args) -> int:
     if args.json:
         report.save(args.json)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .eval.resilient import RetryPolicy
+    from .serve import CampaignServer
+    from .store import ResultStore
+
+    if args.port is not None:
+        address = f"{args.host}:{args.port}"
+    else:
+        address = args.socket
+    store = ResultStore(args.store)
+    policy = RetryPolicy(retries=args.retries, timeout_s=args.timeout_s,
+                         backoff_s=0.01)
+    server = CampaignServer(
+        store=store, address=address, shards=args.shards,
+        batch=args.batch, policy=policy,
+        backend=None if args.backend == "as-submitted" else args.backend,
+        workers_per_shard=args.workers,
+    )
+    resolved = server.start()
+    entries = store.stats().entries
+    print(f"serving on {resolved}  "
+          f"(store: {args.store}, {entries} warm entries; "
+          f"{args.shards} shards x {args.workers} workers, "
+          f"batch {args.batch})")
+    print("submit with: repro-gecko campaign <prog> "
+          f"--via-store {resolved}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print("server stopped")
+    return 0
+
+
+def _open_store(args):
+    from .store import ResultStore
+
+    if not os.path.isdir(args.root):
+        raise SystemExit(f"error: {args.root!r} is not a store "
+                         f"directory (create one with 'store import' "
+                         f"or by running a campaign with --store)")
+    return ResultStore(args.root)
+
+
+def cmd_store_ls(args) -> int:
+    store = _open_store(args)
+    shown = 0
+    for digest in sorted(store.digests()):
+        entry = store.get(digest)
+        meta = entry.get("meta") or {}
+        name = meta.get("name") or meta.get("tenant") or "-"
+        elapsed = meta.get("elapsed_s")
+        tail = f"  {elapsed:.3f}s" if isinstance(elapsed, (int, float)) \
+            else ""
+        print(f"{digest}  {name}{tail}")
+        shown += 1
+        if args.limit and shown >= args.limit:
+            remaining = len(store) - shown
+            if remaining > 0:
+                print(f"... and {remaining} more (raise --limit)")
+            break
+    if shown == 0:
+        print("(empty store)")
+    return 0
+
+
+def cmd_store_stats(args) -> int:
+    store = _open_store(args)
+    stats = store.stats()
+    print(f"root:      {args.root}")
+    print(f"entries:   {stats.entries}")
+    print(f"buckets:   {stats.buckets}  (segments: {stats.segments})")
+    print(f"bytes:     {stats.bytes}")
+    if stats.torn_recovered or stats.corrupt_skipped:
+        print(f"recovery:  torn_recovered={stats.torn_recovered}  "
+              f"corrupt_skipped={stats.corrupt_skipped}")
+    return 0
+
+
+def cmd_store_gc(args) -> int:
+    store = _open_store(args)
+    gc = store.gc(max_age_s=args.max_age_s, dry_run=args.dry_run)
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(f"entries:   kept {gc.kept}, dropped {gc.dropped} "
+          f"({gc.duplicates_dropped} duplicates)")
+    print(f"segments:  {gc.segments_compacted} compacted")
+    print(f"bytes:     {verb} {gc.bytes_reclaimed}")
+    return 0
+
+
+def cmd_store_import(args) -> int:
+    from .store import ResultStore
+
+    store = ResultStore(args.root)
+    meta = {"name": args.name} if args.name else None
+    imported = store.import_journal(args.journal, meta=meta)
+    print(f"imported {imported} new results from {args.journal} "
+          f"(store now holds {len(store)})")
     return 0
 
 
@@ -639,6 +768,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="PATH",
                    help="skip runs already journaled at PATH (implies "
                         "--journal PATH, so the file keeps growing)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="memoize results in a content-addressed store "
+                        "at DIR; repeat runs are served without "
+                        "simulating")
+    p.add_argument("--via-store", default=None, metavar="ADDR",
+                   help="submit through a running campaign server "
+                        "(see 'serve'): warm hits come from its store, "
+                        "misses run on its worker shards")
+    p.add_argument("--tenant", default="default",
+                   help="fair-share tenant name for --via-store "
+                        "submissions")
     _add_seed_arg(p)
     _add_backend_arg(p)
     p.add_argument("--json", default=None, metavar="PATH",
@@ -694,6 +834,65 @@ def build_parser() -> argparse.ArgumentParser:
                         "the attack was found against)")
     _add_backend_arg(p)
     p.set_defaults(func=cmd_adversary)
+
+    p = sub.add_parser("serve",
+                       help="run the always-on campaign server")
+    p.add_argument("--store", default="results-store", metavar="DIR",
+                   help="result-store directory (created if missing)")
+    p.add_argument("--socket", default="serve.sock", metavar="PATH",
+                   help="unix socket path to listen on")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP host when --port is given")
+    p.add_argument("--port", type=int, default=None, metavar="N",
+                   help="listen on TCP host:port instead of the unix "
+                        "socket (0 picks a free port)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker shard threads draining the queues")
+    p.add_argument("--workers", type=int, default=1,
+                   help="executor processes per shard")
+    p.add_argument("--batch", type=int, default=8,
+                   help="runs a shard takes per fair-share cycle")
+    p.add_argument("--retries", type=int, default=1,
+                   help="re-attempts per failed run")
+    p.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                   help="per-run wall-clock timeout on the shards")
+    p.add_argument("--backend", default="threaded",
+                   choices=["threaded", "interpreter", "as-submitted"],
+                   help="execution backend for misses ('as-submitted' "
+                        "honors each run's own setting)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("store",
+                       help="inspect or maintain a result store")
+    store_sub = p.add_subparsers(dest="store_op", required=True)
+
+    q = store_sub.add_parser("ls", help="list stored results")
+    q.add_argument("root", help="store directory")
+    q.add_argument("--limit", type=int, default=50,
+                   help="entries to show (0 = all)")
+    q.set_defaults(func=cmd_store_ls)
+
+    q = store_sub.add_parser("stats", help="show store statistics")
+    q.add_argument("root", help="store directory")
+    q.set_defaults(func=cmd_store_stats)
+
+    q = store_sub.add_parser("gc",
+                             help="compact segments and drop stale "
+                                  "entries")
+    q.add_argument("root", help="store directory")
+    q.add_argument("--max-age-s", type=float, default=None, metavar="S",
+                   help="also drop entries older than S seconds")
+    q.add_argument("--dry-run", action="store_true",
+                   help="report what would change without rewriting")
+    q.set_defaults(func=cmd_store_gc)
+
+    q = store_sub.add_parser("import",
+                             help="ingest a campaign run journal")
+    q.add_argument("root", help="store directory (created if missing)")
+    q.add_argument("journal", help="RunJournal JSONL file to ingest")
+    q.add_argument("--name", default=None,
+                   help="campaign name to record in entry metadata")
+    q.set_defaults(func=cmd_store_import)
     return parser
 
 

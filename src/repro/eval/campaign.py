@@ -46,6 +46,8 @@ from ..obs import (
     merge_flat,
 )
 from ..runtime import IntermittentSimulator, Machine, SimResult, runtime_for
+from ..store.digest import jsonable as _jsonable
+from ..store.digest import run_digest
 from .common import REMOTE_DISTANCE_M, REMOTE_TX_DBM, VictimConfig
 from .resilient import (
     ExecStats,
@@ -400,20 +402,9 @@ class ExperimentSpec:
 
 
 # ----------------------------------------------------------------------
-# Results.
+# Results.  (``_jsonable`` is the canonical :func:`repro.store.digest.
+# jsonable` — one folding rule for digests and serialization alike.)
 # ----------------------------------------------------------------------
-def _jsonable(value: Any) -> Any:
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return dataclasses.asdict(value)
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    return repr(value)
-
-
 @dataclass
 class RunOutcome:
     """One grid point's accounting: result, rate, timing, failure."""
@@ -471,6 +462,11 @@ class CampaignStats:
     worker_restarts: int = 0
     budget_exceeded: int = 0
     journal_skipped: int = 0
+    # Result-store accounting (see repro.store): grid points served from
+    # the content-addressed store vs executed (then stored).
+    store_hits: int = 0
+    store_misses: int = 0
+    store_puts: int = 0
 
 
 @dataclass
@@ -590,6 +586,21 @@ class CampaignRunner:
       ``campaign.timeouts``, ``campaign.worker_restarts``) are recorded
       on this bundle's metrics registry.  They stay out of the per-run
       metrics, so fingerprints compare clean runs to resumed ones.
+
+    Store-backed memoization (see :mod:`repro.store`, :mod:`repro.serve`):
+
+    * ``store`` — any object with ``get(digest)`` / ``put(digest, value,
+      meta)`` / ``contains(digest)`` (a local
+      :class:`~repro.store.ResultStore` or a
+      :meth:`~repro.serve.client.ServeClient.store_view`).  Every task is
+      keyed by its content digest (:func:`~repro.store.digest.run_digest`
+      — campaign-independent, so hits cross campaign and process
+      boundaries); hits skip compilation and simulation entirely, misses
+      execute and are written back.
+    * ``dispatcher`` — an object with ``execute(tasks) -> [TaskResult]``
+      (a :meth:`~repro.serve.client.ServeClient.dispatcher`): store
+      misses are routed there — e.g. through a ``repro-gecko serve``
+      instance's fair-share queues — instead of the local executor.
     """
 
     def __init__(self, workers: int = 1,
@@ -599,7 +610,9 @@ class CampaignRunner:
                  journal: Optional[str] = None,
                  resume: Optional[str] = None,
                  start_method: Optional[str] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 store: Optional[Any] = None,
+                 dispatcher: Optional[Any] = None) -> None:
         self.workers = max(1, int(workers))
         self.compile_cache: Dict[Tuple, Any] = \
             compile_cache if compile_cache is not None else {}
@@ -610,6 +623,8 @@ class CampaignRunner:
         self.start_method = start_method if start_method is not None \
             else default_start_method()
         self.obs = obs
+        self.store = store
+        self.dispatcher = dispatcher
 
     # ------------------------------------------------------------------
     def run(self, spec: ExperimentSpec) -> CampaignResult:
@@ -639,13 +654,26 @@ class CampaignRunner:
         offset = len(tasks)
         tasks += [(offset + i, run) for i, (_, run) in enumerate(grid)]
 
-        # Resume before compiling: fully journaled compile keys are
-        # never needed, so a resumed campaign skips their compiles too.
+        # Resume and store lookups happen before compiling: compile keys
+        # whose every run is journaled or store-served are never needed,
+        # so a warm store skips the compiles too (the hit path invokes
+        # neither the compiler nor the simulator).
         digest = _digest_fn(spec.name)
         resume = RunJournal.load(self.resume_path) if self.resume_path \
             else {}
+        store_hits: Dict[int, dict] = {}
+        store_digests: Dict[int, str] = {}
+        if self.store is not None:
+            for index, run in tasks:
+                key = run_digest(run)
+                store_digests[index] = key
+                entry = self.store.get(key)
+                if entry is not None:
+                    store_hits[index] = entry
         needed = {run.compile_key() for index, run in tasks
-                  if digest(index, run) not in resume}
+                  if digest(index, run) not in resume
+                  and index not in store_hits} \
+            if self.dispatcher is None else set()
         for _, run in grid:
             key = run.compile_key()
             if key in self.compile_cache:
@@ -655,7 +683,9 @@ class CampaignRunner:
                 stats.compiles += 1
 
         raw = self._run_tasks(tasks, digest=digest, resume=resume,
-                              stats=stats)
+                              stats=stats, store_hits=store_hits,
+                              store_digests=store_digests,
+                              name=spec.name)
         if self.reraise:
             self._reraise_first_failure(raw)
 
@@ -689,30 +719,79 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
     def _run_tasks(self, tasks, digest=None, resume=None,
-                   stats: Optional[CampaignStats] = None
-                   ) -> List[TaskResult]:
+                   stats: Optional[CampaignStats] = None,
+                   store_hits: Optional[Dict[int, dict]] = None,
+                   store_digests: Optional[Dict[int, str]] = None,
+                   name: str = "campaign") -> List[TaskResult]:
         """Dispatch the unified task list through the resilient executor.
 
         Serial and pooled execution share one path — taxonomy, retries,
         budget, journal and resume behave identically — so ``reraise``
         and failure accounting no longer fork on ``workers``.
+
+        With a ``store`` attached, hit tasks are decoded straight from
+        the store (no simulator, no compiler) and misses — executed
+        locally or via the ``dispatcher`` — are written back, so the
+        next campaign to resolve the same :class:`RunSpec` digest is
+        served from cache.
         """
-        exec_stats = ExecStats()
-        journal = RunJournal(self.journal_path) if self.journal_path \
-            else None
-        executor = ResilientExecutor(
-            task_fn=_pool_execute, workers=self.workers,
-            policy=self.policy, initializer=_init_worker,
-            initargs=(self.compile_cache,),
-            start_method=self.start_method, journal=journal,
-            resume=resume, digest_fn=digest or _digest_fn("campaign"),
-            encode=_encode_result, decode=_decode_result,
-            stats=exec_stats)
-        try:
-            raw = executor.run(tasks)
-        finally:
-            if journal is not None:
-                journal.close()
+        store_hits = store_hits or {}
+        store_digests = store_digests or {}
+        results: Dict[int, TaskResult] = {}
+        for index, entry in store_hits.items():
+            value = entry.get("value") if isinstance(entry, dict) else None
+            results[index] = TaskResult(
+                index=index,
+                result=_decode_result(value) if value is not None
+                else None,
+                stored=True)
+        todo = [(index, run) for index, run in tasks
+                if index not in store_hits]
+
+        raw: List[TaskResult] = []
+        if todo and self.dispatcher is not None:
+            raw = self.dispatcher.execute(todo)
+            exec_stats = ExecStats()
+        elif todo:
+            exec_stats = ExecStats()
+            journal = RunJournal(self.journal_path) if self.journal_path \
+                else None
+            executor = ResilientExecutor(
+                task_fn=_pool_execute, workers=self.workers,
+                policy=self.policy, initializer=_init_worker,
+                initargs=(self.compile_cache,),
+                start_method=self.start_method, journal=journal,
+                resume=resume,
+                digest_fn=digest or _digest_fn("campaign"),
+                encode=_encode_result, decode=_decode_result,
+                stats=exec_stats)
+            try:
+                raw = executor.run(todo)
+            finally:
+                if journal is not None:
+                    journal.close()
+        else:
+            exec_stats = ExecStats()
+
+        # Write executed results back: the dispatcher's server owns its
+        # own store, so only locally-executed misses are put here.
+        store_puts = 0
+        if self.store is not None and self.dispatcher is None:
+            for tr in raw:
+                key = store_digests.get(tr.index)
+                if tr.ok and tr.result is not None and key is not None:
+                    if self.store.put(key, _encode_result(tr.result),
+                                      meta={"name": name,
+                                            "elapsed_s": tr.elapsed_s}):
+                        store_puts += 1
+
+        for tr in raw:
+            results[tr.index] = tr
+        raw = [results[index] for index in sorted(results)]
+        if stats is not None and self.store is not None:
+            stats.store_hits = len(store_hits)
+            stats.store_misses = len(todo)
+            stats.store_puts = store_puts
         if stats is not None:
             stats.retries = exec_stats.retries
             stats.timeouts = exec_stats.timeouts

@@ -45,6 +45,7 @@ import queue
 import random
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -57,6 +58,7 @@ from typing import (
 )
 
 from ..errors import ReproError
+from ..store.digest import task_digest
 
 
 class ResilienceError(ReproError):
@@ -210,6 +212,9 @@ class TaskResult:
     elapsed_s: float = 0.0
     attempts: int = 1
     journaled: bool = False
+    #: Served from a content-addressed result store (``repro.store``)
+    #: instead of executing — the cross-campaign analog of ``journaled``.
+    stored: bool = False
     #: The original exception object — inline (serial) execution only,
     #: so ``reraise`` can propagate the real type to the caller.
     exception: Optional[BaseException] = None
@@ -263,27 +268,52 @@ class RunJournal:
 
     @staticmethod
     def load(path: str) -> Dict[str, dict]:
-        """Digest-keyed journal entries; missing file means no entries."""
+        """Digest-keyed journal entries; missing file means no entries.
+
+        A truncated or corrupt line — the torn tail of a mid-write kill,
+        or bit rot anywhere in the file — is skipped with a warning
+        instead of raising, so one bad line never costs the rest of a
+        journal's resume value.
+        """
         entries: Dict[str, dict] = {}
         try:
-            handle = open(path)
+            handle = open(path, errors="replace")
         except FileNotFoundError:
             return entries
         with handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn tail line from a mid-write kill
+                    warnings.warn(
+                        f"run journal {path}: skipping corrupt line "
+                        f"{number} (torn write?)", RuntimeWarning,
+                        stacklevel=2)
+                    continue
                 if isinstance(entry, dict) and "digest" in entry:
                     entries[entry["digest"]] = entry
+                else:
+                    warnings.warn(
+                        f"run journal {path}: skipping line {number} "
+                        f"(not a digest-keyed entry)", RuntimeWarning,
+                        stacklevel=2)
         return entries
 
 
 def _default_digest(index: int, payload: Any) -> str:
+    """Canonical JSON content digest (:func:`repro.store.digest.
+    task_digest`): stable across processes and dict construction order,
+    unlike the ``repr()`` hashing it replaced."""
+    return task_digest(index, payload)
+
+
+def _legacy_repr_digest(index: int, payload: Any) -> str:
+    """The pre-store ``repr()``-based digest, kept only so journals
+    written before the canonical digest landed stay resumable (the
+    executor falls back to this key on a canonical-digest miss)."""
     return hashlib.sha256(repr((index, payload)).encode()).hexdigest()
 
 
@@ -386,6 +416,12 @@ class ResilientExecutor:
         for index, payload in tasks:
             digest = self.digest_fn(index, payload)
             entry = self.resume.get(digest)
+            if entry is None and self.resume \
+                    and self.digest_fn is _default_digest:
+                # Compatibility read path: journals written before the
+                # canonical digest used repr() hashing.
+                entry = self.resume.get(_legacy_repr_digest(index,
+                                                            payload))
             if entry is not None:
                 results[index] = self._from_journal(index, entry)
                 self.stats.journal_skipped += 1

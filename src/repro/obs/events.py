@@ -155,6 +155,15 @@ class EventBus:
     def subscribe_samples(self, fn: Callable[[Sample], None]) -> None:
         self._sample_subs.append(fn)
 
+    def unsubscribe(self, fn: Callable) -> None:
+        """Detach a subscriber from both channels (no-op if absent) —
+        long-lived buses (e.g. a serving process streaming events to
+        transient clients) would otherwise leak dead callbacks."""
+        self._subs = [(sub, kinds) for sub, kinds in self._subs
+                      if sub is not fn]
+        self._sample_subs = [sub for sub in self._sample_subs
+                             if sub is not fn]
+
     # -- queries --------------------------------------------------------
     def tail(self, n: int = 32) -> List[Event]:
         """The most recent ``n`` retained events, oldest first."""

@@ -1,0 +1,116 @@
+"""RunSpec ⇄ JSON: what a run looks like on the wire.
+
+Only the *declarative* spec types travel — :class:`~repro.eval.common.
+VictimConfig`, :class:`~repro.eval.campaign.AttackSpec`,
+:class:`~repro.eval.campaign.PathSpec`, :class:`~repro.faultsim.models.
+FaultSpec` — because they are plain data whose canonical-JSON digest is
+stable no matter who computes it.  Raw schedule/path objects and chaos
+drills are refused: a run the server cannot digest identically to the
+client would silently miss the cache forever, and chaos drills are
+process-local fire drills, not workload.
+
+The invariant the tests pin down: ``run_digest(decode(encode(run))) ==
+run_digest(run)`` — encoding is lossless exactly where digests are
+stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from ..eval.campaign import AttackSpec, PathSpec, RunSpec
+from ..eval.common import VictimConfig
+from .protocol import ServeError
+
+__all__ = ["decode_run", "encode_run"]
+
+
+def _encode_attack(attack: Any) -> dict:
+    if not isinstance(attack, AttackSpec):
+        raise ServeError(
+            f"only declarative AttackSpec attacks can be submitted "
+            f"(got {type(attack).__name__}); raw schedules do not "
+            f"digest stably across processes")
+    data = dataclasses.asdict(attack)
+    if attack.windows is not None:
+        data["windows"] = [list(w) for w in attack.windows]
+    return data
+
+
+def _decode_attack(data: dict) -> AttackSpec:
+    windows = data.get("windows")
+    return AttackSpec(
+        freq_mhz=data.get("freq_mhz"),
+        tx_dbm=data["tx_dbm"],
+        windows=tuple(tuple(w) for w in windows)
+        if windows is not None else None)
+
+
+def _encode_path(path: Any) -> dict:
+    if not isinstance(path, PathSpec):
+        raise ServeError(
+            f"only declarative PathSpec paths can be submitted "
+            f"(got {type(path).__name__})")
+    return dataclasses.asdict(path)
+
+
+def _encode_fault(fault: Any) -> Optional[dict]:
+    if fault is None:
+        return None
+    from ..faultsim.models import FaultSpec
+    if not isinstance(fault, FaultSpec):
+        raise ServeError(
+            f"only FaultSpec faults can be submitted "
+            f"(got {type(fault).__name__})")
+    return dataclasses.asdict(fault)
+
+
+def _decode_fault(data: Optional[dict]):
+    if data is None:
+        return None
+    from ..faultsim.models import FaultSpec
+    return FaultSpec(**data)
+
+
+def encode_run(run: RunSpec) -> dict:
+    """One RunSpec as a JSON-safe dict (raises :class:`ServeError` for
+    non-declarative or process-local pieces)."""
+    if run.chaos is not None:
+        raise ServeError("chaos drills are process-local and cannot be "
+                         "submitted to a server")
+    return {
+        "victim": dataclasses.asdict(run.victim),
+        "attack": _encode_attack(run.attack),
+        "path": _encode_path(run.path),
+        "duration_s": run.duration_s,
+        "sim_overrides": [[key, value]
+                          for key, value in run.sim_overrides],
+        "mode": run.mode,
+        "target_completions": run.target_completions,
+        "batch_window_s": run.batch_window_s,
+        "max_sim_s": run.max_sim_s,
+        "fault": _encode_fault(run.fault),
+        "telemetry": run.telemetry,
+    }
+
+
+def decode_run(data: dict) -> RunSpec:
+    """The inverse of :func:`encode_run`, digest-preserving."""
+    try:
+        return RunSpec(
+            victim=VictimConfig(**data["victim"]),
+            attack=_decode_attack(data["attack"]),
+            path=PathSpec(**data["path"]),
+            duration_s=data.get("duration_s"),
+            sim_overrides=tuple((key, value) for key, value
+                                in data.get("sim_overrides", [])),
+            mode=data.get("mode", "fixed"),
+            target_completions=data.get("target_completions", 0),
+            batch_window_s=data.get("batch_window_s", 0.05),
+            max_sim_s=data.get("max_sim_s", 20.0),
+            fault=_decode_fault(data.get("fault")),
+            telemetry=data.get("telemetry", False),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ServeError(f"malformed run submission: {exc}")

@@ -1,0 +1,37 @@
+"""Content-addressed result store (:mod:`repro.store`).
+
+Two layers:
+
+* :mod:`repro.store.digest` — the canonical JSON content digest every
+  cache in the repo keys on (executor journals, the result store, the
+  serving layer);
+* :mod:`repro.store.store` — :class:`ResultStore`, the sharded, crash-
+  safe, on-disk store that serves any run ever executed from cache
+  across campaigns and processes.
+
+``repro-gecko store ls/stats/gc/import`` operates on a store directly;
+:mod:`repro.serve` puts one behind a long-running service.
+"""
+
+from __future__ import annotations
+
+from .digest import (
+    canonical_json,
+    content_digest,
+    jsonable,
+    run_digest,
+    task_digest,
+)
+from .store import GCStats, ResultStore, StoreError, StoreStats
+
+__all__ = [
+    "GCStats",
+    "ResultStore",
+    "StoreError",
+    "StoreStats",
+    "canonical_json",
+    "content_digest",
+    "jsonable",
+    "run_digest",
+    "task_digest",
+]

@@ -1,0 +1,89 @@
+"""The one canonical content digest every cache in the repo keys on.
+
+Content addressing only works if every producer and consumer agrees on
+the bytes being hashed.  Before this module, each cache rolled its own
+key: the resilient executor hashed ``repr()`` output (unstable across
+processes, dict construction order, and Python versions), while the
+campaign journal hashed canonical JSON.  This module is the single
+definition both now share:
+
+* :func:`jsonable` — fold any value (dataclasses, tuples, mappings,
+  primitives) into plain JSON types, deterministically;
+* :func:`canonical_json` — the one serialization (sorted keys, no
+  whitespace) whose bytes are the hashing contract;
+* :func:`content_digest` — sha256 over those bytes;
+* :func:`task_digest` / :func:`run_digest` — the two digest shapes used
+  by the executor journal and the result store respectively.
+
+A :class:`~repro.eval.campaign.RunSpec` digests identically no matter
+which process, campaign, or client computed it — which is what lets the
+result store memoize at run granularity across campaign boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+__all__ = [
+    "canonical_json",
+    "content_digest",
+    "jsonable",
+    "run_digest",
+    "task_digest",
+]
+
+
+def jsonable(value: Any) -> Any:
+    """Fold ``value`` into plain JSON types, deterministically.
+
+    Dataclasses become dicts, tuples become lists, mapping keys become
+    strings; anything else falls back to ``repr()`` (callers wanting
+    stable digests should stick to data — the declarative spec types are
+    all dataclasses for exactly this reason).
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonable(dataclasses.asdict(value))
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical serialization: sorted keys, compact separators.
+
+    Two structurally equal values — regardless of dict insertion order
+    or tuple-vs-list spelling — produce byte-identical output.
+    """
+    return json.dumps(jsonable(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def content_digest(value: Any) -> str:
+    """sha256 hex digest of :func:`canonical_json` of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+def task_digest(index: int, payload: Any) -> str:
+    """The executor's default journal digest: slot + payload content.
+
+    Stable across processes and dict construction order — the property
+    the old ``repr()``-based digest lacked.
+    """
+    return content_digest(["task", index, payload])
+
+
+def run_digest(run: Any) -> str:
+    """A :class:`~repro.eval.campaign.RunSpec`'s store key.
+
+    Deliberately content-only: no campaign name, no grid index — so the
+    same run submitted by different campaigns, clients, or processes
+    lands on the same store entry.
+    """
+    return content_digest(run)
