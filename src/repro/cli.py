@@ -651,8 +651,13 @@ def cmd_store_stats(args) -> int:
 
 
 def cmd_store_gc(args) -> int:
+    from .store import StoreError
+
     store = _open_store(args)
-    gc = store.gc(max_age_s=args.max_age_s, dry_run=args.dry_run)
+    try:
+        gc = store.gc(max_age_s=args.max_age_s, dry_run=args.dry_run)
+    except StoreError as exc:
+        raise SystemExit(f"error: {exc}")
     verb = "would reclaim" if args.dry_run else "reclaimed"
     print(f"entries:   kept {gc.kept}, dropped {gc.dropped} "
           f"({gc.duplicates_dropped} duplicates)")

@@ -234,6 +234,12 @@ def _fix_conflict(function: Function, infos: List[CkptInfo],
             infos, [conflict.reg_index], new_mark, (block_name, index)
         )
         function.blocks[block_name].instrs[index:index] = new_instrs
+        if not _repair_holds(function, infos, new_mark,
+                             conflict.reg_index):
+            del function.blocks[block_name] \
+                .instrs[index:index + len(new_instrs)]
+            del infos[-added:]
+            return None
         return added
 
     branch_site, target_block = edge
@@ -252,7 +258,57 @@ def _fix_conflict(function: Function, infos: List[CkptInfo],
     function.block_order.insert(position + 1, new_name)
     branch_instr = function.blocks[branch_site[0]].instrs[branch_site[1]]
     branch_instr.target = Label(new_name)
+    if not _repair_holds(function, infos, new_mark, conflict.reg_index):
+        del function.blocks[new_name]
+        function.block_order.remove(new_name)
+        branch_instr.target = Label(target_block)
+        del infos[-added:]
+        return None
     return added
+
+
+def _repair_holds(function: Function, infos: List[CkptInfo],
+                  new_mark: Instr, conflict_reg: int) -> bool:
+    """Re-validate a just-inserted repair boundary at its real site.
+
+    ``_repair_is_free`` checks restore paths *before* the insertion, at
+    the branch site — but the repair's own checkpoint of the conflict
+    register can clobber-invalidate a slice restore another live input
+    depended on (its slice may read the conflict register's slot).  So
+    after mutating the IR, re-run the exact check ``_attach_plans`` will
+    enforce; a repair that fails it is undone by the caller and the
+    register falls back to the dynamic index instead of dying at
+    plan-attachment with "no restore path".
+    """
+    from .recovery import find_restore_source
+    from ..ir.dominators import dominators
+
+    mark_site: Optional[Site] = None
+    for name, index, instr in function.instructions():
+        if instr is new_mark:
+            mark_site = (name, index)
+            break
+    if mark_site is None:
+        return False
+    live = liveness(function, ignore_ckpt_uses=True)
+    dom = dominators(function)
+    site_cache: Dict[int, Optional[Site]] = {}
+
+    def site_of(info: CkptInfo) -> Optional[Site]:
+        key = id(info.instr)
+        if key not in site_cache:
+            site_cache[key] = locate_instr(function, info.instr)
+        return site_cache[key]
+
+    for reg in live.live_at(function, mark_site[0], mark_site[1] + 1):
+        if not isinstance(reg, PReg) or not 1 <= reg.index < NUM_REGS:
+            continue
+        if reg.index == conflict_reg:     # restored by its own boundary
+            continue                      # checkpoint
+        if find_restore_source(function, infos, reg.index, mark_site,
+                               dom=dom, site_of=site_of) is None:
+            return False
+    return True
 
 
 def _repair_is_free(function: Function, infos: List[CkptInfo], live_regs,

@@ -301,7 +301,11 @@ class CampaignServer:
                     self._waiters.setdefault(digest, []).append(waiter)
                 if digest not in self._inflight:
                     self._inflight.add(digest)
-                    self.scheduler.submit(tenant, (digest, run))
+                    try:
+                        self.scheduler.submit(tenant, (digest, run))
+                    except RuntimeError:     # scheduler closed mid-stop
+                        self._inflight.discard(digest)
+                        raise ServeError("server is stopping") from None
                     self._emit(SERVE_QUEUED, digest, tenant)
         if not wait:
             send_message(conn, {"ok": True, "accepted": len(runs),
@@ -317,15 +321,33 @@ class CampaignServer:
         for line in hit_lines:
             send_message(conn, line)
         while pending:
-            notice = waiter.get()
+            try:
+                notice = waiter.get(timeout=_TAKE_TIMEOUT_S)
+            except queue_mod.Empty:
+                if self._stopping.is_set():
+                    break
+                continue
             slots = pending.pop(notice["digest"], [])
             for slot in slots:
                 line = {"ok": "error" not in notice, "run": slot,
                         "digest": notice["digest"], "cached": False}
                 line.update(notice)
                 send_message(conn, line)
+        # Shutdown with runs still pending: an explicit error line per
+        # run beats leaving the client to its own socket timeout.
+        aborted = 0
+        for digest, slots in sorted(pending.items()):
+            for slot in slots:
+                aborted += 1
+                send_message(conn, {
+                    "ok": False, "run": slot, "digest": digest,
+                    "cached": False,
+                    "error": "server stopping before this run was "
+                             "served",
+                    "error_kind": SIM_ERROR})
         send_message(conn, {"ok": True, "done": True,
-                            "served": len(runs)})
+                            "served": len(runs) - aborted,
+                            "aborted": aborted})
 
     # -- subscription ---------------------------------------------------
     def _handle_subscribe(self, conn, request: dict) -> None:
@@ -359,7 +381,23 @@ class CampaignServer:
                                         timeout=_TAKE_TIMEOUT_S)
             if not items:
                 continue
-            self._execute_batch(shard, items)
+            try:
+                self._execute_batch(shard, items)
+            except Exception as exc:
+                # A failed batch must cost its submitters an error
+                # line, never the shard thread: digests stuck in
+                # _inflight would hang their waiters and dedup every
+                # future submission against a dead execution.
+                for tenant, (digest, _run) in items:
+                    if self._notify(digest, {
+                            "digest": digest,
+                            "error": f"shard failure: {exc}",
+                            "error_kind": SIM_ERROR}):
+                        with self._lock:
+                            self.stats.errors += 1
+                        self._emit(SERVE_ERROR, digest, tenant,
+                                   extra=f"shard={shard} batch "
+                                         f"failure: {exc}")
 
     def _execute_batch(self, shard: int,
                        items: List[Tuple[str, Tuple[str, RunSpec]]]
@@ -427,12 +465,16 @@ class CampaignServer:
                            extra=str(result.error))
             self._notify(digest, notice)
 
-    def _notify(self, digest: str, notice: dict) -> None:
+    def _notify(self, digest: str, notice: dict) -> bool:
+        """Wake every waiter on ``digest``; returns whether the digest
+        was still in flight (False → someone already notified it)."""
         with self._lock:
+            pending = digest in self._inflight
             self._inflight.discard(digest)
             waiters = self._waiters.pop(digest, [])
         for waiter in waiters:
             waiter.put(dict(notice))
+        return pending
 
     def _emit(self, kind: str, digest: str, tenant: str,
               extra: str = "") -> None:

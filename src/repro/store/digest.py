@@ -36,23 +36,52 @@ __all__ = [
 ]
 
 
+#: Marks a coerced spelling in canonical JSON.  NUL never appears in
+#: normal data, and plain strings that do contain it are themselves
+#: tagged — so a coerced key or repr fallback can never produce the
+#: same canonical bytes as an untouched value.
+_TAG = "\x00"
+
+
+def _fold_key(key: Any) -> str:
+    """A mapping key's canonical string spelling.
+
+    Plain strings pass through untouched (the common case, and what
+    keeps existing digests stable); any other key — and any string
+    starting with the tag byte — becomes the tag plus its own canonical
+    JSON, so ``{1: x}`` and ``{"1": x}`` digest differently and two
+    distinct keys cannot collapse onto one spelling.
+    """
+    if isinstance(key, str) and not key.startswith(_TAG):
+        return key
+    return _TAG + canonical_json(key)
+
+
 def jsonable(value: Any) -> Any:
     """Fold ``value`` into plain JSON types, deterministically.
 
-    Dataclasses become dicts, tuples become lists, mapping keys become
-    strings; anything else falls back to ``repr()`` (callers wanting
-    stable digests should stick to data — the declarative spec types are
-    all dataclasses for exactly this reason).
+    Dataclasses become dicts, tuples become lists; mapping keys and
+    unknown types are folded to *tagged* strings (see :data:`_TAG`) so
+    structurally different values never share canonical bytes.  Callers
+    wanting stable digests should still stick to data — the declarative
+    spec types are all dataclasses for exactly this reason.
     """
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    if isinstance(value, str):
+        return _TAG + "s" + value if value.startswith(_TAG) else value
+    if isinstance(value, (int, float, bool)) or value is None:
         return value
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return jsonable(dataclasses.asdict(value))
     if isinstance(value, (list, tuple)):
         return [jsonable(v) for v in value]
     if isinstance(value, dict):
-        return {str(k): jsonable(v) for k, v in value.items()}
-    return repr(value)
+        folded = {_fold_key(k): jsonable(v) for k, v in value.items()}
+        if len(folded) != len(value):
+            raise ValueError(
+                f"mapping keys collide under canonical folding: "
+                f"{sorted(map(repr, value))}")
+        return folded
+    return f"{_TAG}r{type(value).__qualname__}:{value!r}"
 
 
 def canonical_json(value: Any) -> str:

@@ -11,6 +11,8 @@ On-disk layout — sharded by digest prefix so no directory grows
 unbounded and concurrent writers never contend on one file::
 
     root/
+      .writers.lock                  # flock: shared per live writer,
+                                     # exclusive during gc()
       buckets/
         <digest[:2]>/
           seg-<writer-id>.jsonl      # one append stream per writer
@@ -27,8 +29,13 @@ bench_store_throughput.py``) without holding values in memory.
 
 Concurrency model: one *writer id* (default: the pid) owns each segment
 file, so parallel writer processes never interleave bytes; readers pick
-up other writers' appends via :meth:`refresh`.  ``gc()`` compacts into
-fresh segments and atomically replaces the old ones — readers holding
+up other writers' appends via :meth:`refresh`.  Every instance that has
+appended holds a *shared* ``flock`` on ``root/.writers.lock`` until
+:meth:`close`; ``gc()`` takes the *exclusive* side before touching any
+segment, so it can never unlink a file a live writer is still appending
+to — it raises :class:`StoreError` instead when other writers hold the
+store open.  Concurrent readers stay safe throughout: gc compacts into
+fresh segments and atomically replaces the old ones, and readers holding
 old file handles keep reading the unlinked segments (POSIX semantics)
 until their next :meth:`refresh`.
 """
@@ -42,6 +49,11 @@ import threading
 import time
 import warnings
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:                       # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from ..errors import ReproError
 
@@ -119,6 +131,8 @@ class ResultStore:
         self._scanned: Dict[str, int] = {}
         self._write_handles: Dict[str, Any] = {}   # bucket -> own segment
         self._read_handles: Dict[str, Any] = {}    # path -> handle (LRU)
+        self._lock_handle: Optional[Any] = None    # root/.writers.lock
+        self._holds_writer_lock = False
         self._traffic = StoreStats()
         os.makedirs(self._buckets_dir(), exist_ok=True)
         self.refresh(repair=True)
@@ -126,6 +140,9 @@ class ResultStore:
     # -- paths ----------------------------------------------------------
     def _buckets_dir(self) -> str:
         return os.path.join(self.root, "buckets")
+
+    def _writer_lock_path(self) -> str:
+        return os.path.join(self.root, ".writers.lock")
 
     def _bucket_of(self, digest: str) -> str:
         if len(digest) <= self.prefix_len:
@@ -264,6 +281,7 @@ class ResultStore:
             entry["meta"].setdefault("t", time.time())
             line = json.dumps(entry, sort_keys=True,
                               separators=(",", ":")) + "\n"
+            self._acquire_writer_lock()
             handle = self._writer(bucket)
             offset = handle.tell()
             data = line.encode()
@@ -300,6 +318,12 @@ class ResultStore:
         predicate rejects.  Atomic per segment (write-new + rename + old
         unlinked); concurrent readers keep their old handles until they
         :meth:`refresh`.
+
+        Requires exclusive store access: raises :class:`StoreError` when
+        another live writer (a running server, an in-flight campaign)
+        holds this root open, because unlinking a segment a writer is
+        still appending to would silently lose its subsequent puts.
+        ``dry_run`` only reads and never takes the lock.
         """
         now = time.time()
 
@@ -312,64 +336,80 @@ class ResultStore:
 
         with self._lock:
             result = GCStats(dry_run=dry_run)
-            before = self.stats().bytes
-            survivors: Dict[str, Tuple[str, dict]] = {}
-            segment_paths: List[str] = []
-            for bucket in sorted(os.listdir(self._buckets_dir())):
-                bucket_dir = os.path.join(self._buckets_dir(), bucket)
-                if not os.path.isdir(bucket_dir):
-                    continue
-                for name in sorted(os.listdir(bucket_dir)):
-                    if name.endswith(".jsonl"):
-                        segment_paths.append(os.path.join(bucket_dir,
-                                                          name))
-            for path in segment_paths:
-                for _, _, entry in self._iter_segment(path):
-                    digest = entry["digest"]
-                    if digest in survivors:
-                        result.duplicates_dropped += 1
-                    elif retain(digest, entry):
-                        survivors[digest] = (self._bucket_of(digest),
-                                             entry)
-                        result.kept += 1
-                    else:
-                        result.dropped += 1
-            if dry_run:
-                return result
+            if not dry_run:
+                # Exclusive before the scan: a writer appending between
+                # scan and unlink would lose those entries otherwise.
+                self._acquire_gc_lock()
+            try:
+                before = self.stats().bytes
+                survivors: Dict[str, Tuple[str, dict]] = {}
+                segment_paths: List[str] = []
+                for bucket in sorted(os.listdir(self._buckets_dir())):
+                    bucket_dir = os.path.join(self._buckets_dir(),
+                                              bucket)
+                    if not os.path.isdir(bucket_dir):
+                        continue
+                    for name in sorted(os.listdir(bucket_dir)):
+                        if name.endswith(".jsonl"):
+                            segment_paths.append(
+                                os.path.join(bucket_dir, name))
+                for path in segment_paths:
+                    for _, _, entry in self._iter_segment(path):
+                        digest = entry["digest"]
+                        if digest in survivors:
+                            result.duplicates_dropped += 1
+                        elif retain(digest, entry):
+                            survivors[digest] = \
+                                (self._bucket_of(digest), entry)
+                            result.kept += 1
+                        else:
+                            result.dropped += 1
+                if dry_run:
+                    return result
 
-            # Write survivors into fresh per-bucket segments, then
-            # atomically replace: rename over a new name, unlink the
-            # old segments, drop caches, and reindex.
-            self._close_handles()
-            by_bucket: Dict[str, List[dict]] = {}
-            for digest, (bucket, entry) in survivors.items():
-                by_bucket.setdefault(bucket, []).append(entry)
-            for bucket, entries in sorted(by_bucket.items()):
-                bucket_dir = os.path.join(self._buckets_dir(), bucket)
-                final = os.path.join(
-                    bucket_dir, f"seg-{self.writer_id}-gc.jsonl")
-                tmp = final + ".tmp"
-                with open(tmp, "w") as handle:
-                    for entry in sorted(entries,
-                                        key=lambda e: e["digest"]):
-                        handle.write(json.dumps(
-                            entry, sort_keys=True,
-                            separators=(",", ":")) + "\n")
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp, final)
-                result.segments_compacted += 1
-            for path in segment_paths:
-                if not path.endswith("-gc.jsonl"):
-                    try:
-                        os.unlink(path)
-                    except FileNotFoundError:
-                        pass
-            self._index.clear()
-            self._scanned.clear()
-            self.refresh()
-            result.bytes_reclaimed = max(0, before - self.stats().bytes)
-            return result
+                # Write survivors into fresh per-bucket segments, then
+                # atomically replace: rename over the gc name, unlink
+                # every pre-existing segment (including stale gc files
+                # from earlier passes and other — quiesced — writers,
+                # which would otherwise resurrect dropped entries on
+                # the next refresh), drop caches, and reindex.
+                self._close_handles()
+                by_bucket: Dict[str, List[dict]] = {}
+                for digest, (bucket, entry) in survivors.items():
+                    by_bucket.setdefault(bucket, []).append(entry)
+                fresh: set = set()
+                for bucket, entries in sorted(by_bucket.items()):
+                    bucket_dir = os.path.join(self._buckets_dir(),
+                                              bucket)
+                    final = os.path.join(
+                        bucket_dir, f"seg-{self.writer_id}-gc.jsonl")
+                    tmp = final + ".tmp"
+                    with open(tmp, "w") as handle:
+                        for entry in sorted(entries,
+                                            key=lambda e: e["digest"]):
+                            handle.write(json.dumps(
+                                entry, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, final)
+                    fresh.add(final)
+                    result.segments_compacted += 1
+                for path in segment_paths:
+                    if path not in fresh:
+                        try:
+                            os.unlink(path)
+                        except FileNotFoundError:
+                            pass
+                self._index.clear()
+                self._scanned.clear()
+                self.refresh()
+                result.bytes_reclaimed = max(
+                    0, before - self.stats().bytes)
+                return result
+            finally:
+                if not dry_run:
+                    self._release_gc_lock()
 
     # -- ingest and iteration -------------------------------------------
     def import_journal(self, path: str,
@@ -406,6 +446,44 @@ class ResultStore:
 
     def __contains__(self, digest: str) -> bool:
         return self.contains(digest)
+
+    # -- the cross-process writer lock ----------------------------------
+    def _acquire_writer_lock(self) -> None:
+        """Hold the shared side of ``root/.writers.lock`` while this
+        instance may have appended (first put acquires, :meth:`close`
+        releases).  Blocks briefly while a gc holds the exclusive side,
+        so a put can never land in a segment gc is about to unlink."""
+        if fcntl is None or self._holds_writer_lock:
+            return
+        if self._lock_handle is None:
+            self._lock_handle = open(self._writer_lock_path(), "a+b")
+        fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_SH)
+        self._holds_writer_lock = True
+
+    def _acquire_gc_lock(self) -> None:
+        """Take the exclusive side for the duration of a gc pass."""
+        if fcntl is None:
+            return
+        if self._lock_handle is None:
+            self._lock_handle = open(self._writer_lock_path(), "a+b")
+        try:
+            fcntl.flock(self._lock_handle.fileno(),
+                        fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            raise StoreError(
+                "gc needs exclusive store access, but another live "
+                "writer holds this store open (a running server or "
+                "in-flight campaign?); close or stop it, then retry"
+            ) from None
+
+    def _release_gc_lock(self) -> None:
+        """Back to the pre-gc state: shared if this instance had
+        written, unlocked otherwise."""
+        if fcntl is None or self._lock_handle is None:
+            return
+        fcntl.flock(self._lock_handle.fileno(),
+                    fcntl.LOCK_SH if self._holds_writer_lock
+                    else fcntl.LOCK_UN)
 
     # -- handles --------------------------------------------------------
     def _writer(self, bucket: str):
@@ -463,6 +541,16 @@ class ResultStore:
     def close(self) -> None:
         with self._lock:
             self._close_handles()
+            if self._lock_handle is not None:
+                if fcntl is not None:
+                    try:
+                        fcntl.flock(self._lock_handle.fileno(),
+                                    fcntl.LOCK_UN)
+                    except OSError:
+                        pass
+                self._lock_handle.close()
+                self._lock_handle = None
+                self._holds_writer_lock = False
 
     def __enter__(self) -> "ResultStore":
         return self

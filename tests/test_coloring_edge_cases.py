@@ -98,6 +98,48 @@ class TestConflicts:
         assert (program.stats.coloring_conflicts
                 + program.stats.dynamic_fallbacks) >= 1
 
+    def test_repair_that_breaks_a_slice_restore_is_undone(self):
+        # Regression (hypothesis-found): a coloring repair validated its
+        # live inputs at the *branch site*, before inserting the new
+        # boundary — but the boundary's own checkpoint of the conflict
+        # register can clobber-invalidate a slice restore another live
+        # register depended on (its slice reads the conflict register's
+        # slot).  Plan attachment then died with "no restore path".
+        # The repair must be re-validated at the real mark site and
+        # undone (dynamic fallback) when it breaks a neighbor.
+        src = """
+        int buf[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+
+        void main() {
+            int a = 7; int b = -2; int c = 100; int d = 0;
+            b = (buf[(a) & 7] + buf[(0) & 7]);
+            a = sense();
+            a = b;
+            if ((a) & 1) { buf[(0) & 7] = buf[(0) & 7]; }
+            else { a = sense(); }
+
+            out(a); out(b); out(c); out(d);
+            for (int k = 0; k < 8; k = k + 1) { out(buf[k]); }
+        }
+        """
+        program = compile_gecko(src, region_budget=2000)
+        assert program.stats.dynamic_fallbacks >= 1
+        # And the result stays crash-consistent through power cycles.
+        golden = run_to_completion(program.linked).committed_out
+        machine = Machine(program.linked)
+        runtime = GeckoRuntime(program.linked)
+        runtime.on_reboot(machine)
+        machine.write_word("__mode", 0, 1)
+        since = 0
+        while not machine.halted:
+            since += machine.step()
+            if since >= 311 and not machine.halted:
+                since = 0
+                machine.power_off()
+                runtime.on_reboot(machine)
+                machine.write_word("__mode", 0, 1)
+        assert machine.committed_out == golden
+
 
 class TestDynamicFallback:
     def test_forced_fallback_still_correct(self):

@@ -7,6 +7,7 @@ streaming, and the `--via-store` dispatcher path are all end-to-end.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -268,6 +269,59 @@ class TestServer:
         assert not listener.is_alive()
         assert {event["kind"] for event in events} \
             == {"serve.queued", "serve.done"}
+
+    def test_shard_survives_a_batch_failure(self, server, monkeypatch):
+        # Regression: an unexpected _execute_batch exception killed the
+        # shard thread, hanging the batch's waiters and deduping every
+        # future submission of those digests against a dead execution.
+        srv, client = server
+        real = CampaignServer._execute_batch
+        failures = []
+
+        def flaky(self, shard, items):
+            if not failures:
+                failures.append(items)
+                raise RuntimeError("disk full")
+            return real(self, shard, items)
+
+        monkeypatch.setattr(CampaignServer, "_execute_batch", flaky)
+        run = _fast_run(freq=29.0)
+        first = client.submit([run])[run_digest(run)]
+        assert "shard failure" in first["error"]
+        assert not srv._inflight             # nothing left stuck
+        # The shard is still alive: a resubmission executes for real.
+        second = client.submit([run])[run_digest(run)]
+        assert not second.get("error")
+        assert second["result"]["final_state"]
+
+    def test_stop_unblocks_waiting_submissions(self, tmp_path,
+                                               monkeypatch):
+        # Shards that never serve anything: stop() must answer waiting
+        # clients with error lines, not leave them to socket timeouts.
+        monkeypatch.setattr(CampaignServer, "_shard_loop",
+                            lambda self, shard: None)
+        store = ResultStore(str(tmp_path / "store"))
+        srv = CampaignServer(store=store,
+                             address=str(tmp_path / "s.sock"), shards=1)
+        client = ServeClient(srv.start(), timeout=30.0)
+        outcome = {}
+
+        def submit():
+            outcome["served"] = client.submit([_fast_run(freq=33.0)])
+
+        waiter = threading.Thread(target=submit)
+        waiter.start()
+        deadline = time.monotonic() + 5.0
+        while srv.scheduler.pending() == 0 \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert srv.scheduler.pending() == 1
+        srv.stop()
+        waiter.join(timeout=10.0)
+        assert not waiter.is_alive()
+        (line,) = outcome["served"].values()
+        assert not line["ok"]
+        assert "stopping" in line["error"]
 
     def test_tcp_port_zero_resolves(self, tmp_path):
         store = ResultStore(str(tmp_path / "store"))

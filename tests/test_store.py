@@ -29,6 +29,7 @@ from repro.store import (
     StoreError,
     canonical_json,
     content_digest,
+    jsonable,
     run_digest,
     task_digest,
 )
@@ -79,6 +80,31 @@ class TestDigest:
         assert repr((0, a)) != repr((0, b))
         assert task_digest(0, a) == task_digest(0, b)
         assert task_digest(0, a) != task_digest(1, a)
+
+    def test_int_and_str_keys_digest_differently(self):
+        # {1: x} vs {"1": x} collided under plain str() coercion — a
+        # silent wrong-result risk for a content-addressed cache.
+        assert content_digest({1: "x"}) != content_digest({"1": "x"})
+
+    def test_mixed_key_types_do_not_collapse(self):
+        folded = jsonable({1: "a", "1": "b"})
+        assert len(folded) == 2
+        assert content_digest({1: "a", "1": "b"}) \
+            != content_digest({"1": "b"})
+
+    def test_repr_fallback_cannot_alias_a_plain_string(self):
+        class Weird:
+            def __repr__(self):
+                return "hello"
+
+        assert content_digest(Weird()) != content_digest("hello")
+
+    def test_nul_prefixed_strings_are_tagged(self):
+        # Plain strings pass through; only the tag byte forces an
+        # escaped spelling, so user strings can't fake a coerced one.
+        assert jsonable("plain") == "plain"
+        assert jsonable("\x00x") != "\x00x"
+        assert content_digest("\x00x") != content_digest("x")
 
     def test_run_digest_ignores_the_campaign_name(self):
         # Same sweep under two campaign names → identical run digests,
@@ -313,6 +339,59 @@ class TestGC:
         result = b.gc()
         assert result.duplicates_dropped == 1
         assert result.kept == 1
+
+    def test_dropped_entries_stay_dropped_after_repeated_gc(self,
+                                                            tmp_path):
+        # Regression: gc never unlinked its own stale -gc segments, so
+        # an entry dropped by a *second* pass resurrected from the
+        # first pass's compacted file on the next refresh.
+        store = _store(tmp_path)
+        old = content_digest("old")
+        new = content_digest("new")
+        store.put(old, 1, meta={"t": 1.0})    # 1970: long stale
+        store.put(new, 2)
+        store.gc()                   # both move into the -gc segment
+        result = store.gc(max_age_s=3600.0)
+        assert result.dropped == 1
+        store.refresh()
+        assert not store.contains(old)
+        assert store.get(new)["value"] == 2
+        reopened = _store(tmp_path)  # full rescan from disk
+        assert not reopened.contains(old)
+        assert reopened.contains(new)
+
+    def test_gc_unlinks_other_writers_compacted_segments(self,
+                                                         tmp_path):
+        # Regression: another writer's seg-*-gc.jsonl was never
+        # removed, duplicating its entries on every cross-writer gc.
+        root = str(tmp_path / "store")
+        a = ResultStore(root, writer_id="a")
+        digest = content_digest("x")
+        a.put(digest, {"v": 1})
+        a.gc()                       # leaves seg-a-gc.jsonl behind
+        a.close()
+        b = ResultStore(root, writer_id="b")
+        for _ in range(2):
+            result = b.gc()
+            assert result.kept == 1
+            assert result.duplicates_dropped == 0
+        names = {seg.name
+                 for bucket in (tmp_path / "store" / "buckets").iterdir()
+                 for seg in bucket.iterdir()}
+        assert names == {"seg-b-gc.jsonl"}
+        assert b.get(digest)["value"] == {"v": 1}
+
+    def test_gc_refuses_while_another_writer_is_live(self, tmp_path):
+        root = str(tmp_path / "store")
+        a = ResultStore(root, writer_id="a")
+        a.put(content_digest("a1"), 1)
+        b = ResultStore(root, writer_id="b")
+        b.put(content_digest("b1"), 2)
+        with pytest.raises(StoreError, match="exclusive"):
+            a.gc()
+        assert a.gc(dry_run=True).kept == 2   # reads never need it
+        b.close()
+        assert a.gc().kept == 2               # quiesced → proceeds
 
     def test_reader_survives_concurrent_gc(self, tmp_path):
         root = str(tmp_path / "store")
