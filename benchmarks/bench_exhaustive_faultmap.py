@@ -1,0 +1,124 @@
+"""Exhaustive fault maps: complete-space coverage at reduced cost.
+
+Two measurements back the `repro.exhaustive` acceptance claims:
+
+* **Full maps** — every instruction step × every register × every bit
+  plus the deterministic time-model grids, for two workloads × all six
+  fault models on the threaded backend.  Asserts the enumeration covers
+  the complete space and that the reduction layers (liveness pruning,
+  next-access analysis, equivalence-class collapsing) simulate >=10x
+  fewer injections than naive enumeration would.
+* **Differential slice** — the same spec run reduced+forked and naive
+  from-reset, wall-clock side by side, asserting byte-identical map
+  fingerprints.  This is the soundness oracle: the speedup only counts
+  because the maps cannot be told apart.
+"""
+
+import time
+
+from _util import bar, emit, run_once
+
+from repro.exhaustive import ExhaustiveSpec, exhaustive_map
+from repro.faultsim import FAULT_MODELS, INSTR_SKIP, REG_FLIP, fault_victim
+
+FULL_WORKLOADS = ("crc32", "blink")
+WORKERS = 4
+REDUCTION_FLOOR = 10.0
+SLICE_WORKLOAD = "crc16"
+SLICE_START = 100
+SLICE_STEPS = 12
+
+
+def _full_map(workload: str) -> dict:
+    spec = ExhaustiveSpec(
+        victim=fault_victim(workload, "nvp", duration_s=0.1,
+                            backend="threaded"),
+        ckpt_windows=1, signal_slots=8)
+    start = time.perf_counter()
+    result = exhaustive_map(spec, workers=WORKERS)
+    elapsed = time.perf_counter() - start
+    stats = result.stats
+    # Completeness: the step models cover every (step, reg, bit) point.
+    assert stats.enumerated[REG_FLIP] == stats.golden_steps * 16 * 32
+    assert stats.enumerated[INSTR_SKIP] == stats.golden_steps
+    assert set(stats.enumerated) == set(FAULT_MODELS)
+    return {
+        "golden_steps": stats.golden_steps,
+        "enumerated": dict(stats.enumerated),
+        "layers": dict(stats.layers),
+        "naive_simulations": stats.naive_simulations,
+        "unique_simulations": stats.unique_simulations,
+        "reduction_factor": stats.reduction_factor(),
+        "corrupting": result.map.corruption_count(),
+        "fingerprint": result.fingerprint(),
+        "wall_s": elapsed,
+    }
+
+
+def _differential_slice() -> dict:
+    spec = ExhaustiveSpec(
+        victim=fault_victim(SLICE_WORKLOAD, "nvp", backend="threaded"),
+        models=(REG_FLIP, INSTR_SKIP),
+        start_step=SLICE_START, slice_steps=SLICE_STEPS)
+    start = time.perf_counter()
+    reduced = exhaustive_map(spec)
+    reduced_s = time.perf_counter() - start
+    start = time.perf_counter()
+    naive = exhaustive_map(spec, naive=True)
+    naive_s = time.perf_counter() - start
+    assert reduced.map.fingerprint() == naive.map.fingerprint(), \
+        "reduced and naive maps diverge"
+    return {
+        "workload": SLICE_WORKLOAD,
+        "slice": [SLICE_START, SLICE_START + SLICE_STEPS],
+        "naive_simulations": naive.stats.unique_simulations,
+        "reduced_simulations": reduced.stats.unique_simulations,
+        "reduction_factor": reduced.stats.reduction_factor(),
+        "naive_wall_s": naive_s,
+        "reduced_wall_s": reduced_s,
+        "wall_speedup": naive_s / reduced_s,
+        "fingerprint": reduced.fingerprint(),
+    }
+
+
+def _experiment():
+    return {
+        "workers": WORKERS,
+        "reduction_floor": REDUCTION_FLOOR,
+        "full_maps": {w: _full_map(w) for w in FULL_WORKLOADS},
+        "differential": _differential_slice(),
+    }
+
+
+def test_exhaustive_faultmap(benchmark):
+    data = run_once(benchmark, _experiment)
+    lines = [f"Exhaustive fault maps, threaded backend, "
+             f"{data['workers']} workers",
+             f"{'workload':<9} {'steps':>6} {'space':>9} {'sims':>7} "
+             f"{'factor':>7} {'corrupt':>8} {'wall':>7}"]
+    for workload, row in data["full_maps"].items():
+        lines.append(
+            f"{workload:<9} {row['golden_steps']:>6} "
+            f"{row['naive_simulations']:>9,} "
+            f"{row['unique_simulations']:>7,} "
+            f"{row['reduction_factor']:>6.1f}x {row['corrupting']:>8,} "
+            f"{row['wall_s']:>6.1f}s "
+            f"{bar(row['reduction_factor'], maximum=20.0)}")
+    diff = data["differential"]
+    lines.append("")
+    lines.append(
+        f"differential slice ({diff['workload']} steps "
+        f"{diff['slice'][0]}..{diff['slice'][1]}): "
+        f"naive {diff['naive_simulations']:,} sims / "
+        f"{diff['naive_wall_s']:.1f}s vs reduced "
+        f"{diff['reduced_simulations']:,} sims / "
+        f"{diff['reduced_wall_s']:.1f}s "
+        f"({diff['reduction_factor']:.1f}x fewer, "
+        f"{diff['wall_speedup']:.1f}x faster, fingerprints identical)")
+    emit("exhaustive_faultmap", lines, data)
+
+    for workload, row in data["full_maps"].items():
+        assert row["reduction_factor"] >= data["reduction_floor"], \
+            f"{workload}: {row['reduction_factor']:.1f}x < " \
+            f"{data['reduction_floor']}x floor"
+    assert diff["reduction_factor"] >= data["reduction_floor"], diff

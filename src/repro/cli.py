@@ -503,6 +503,9 @@ def cmd_faultsim(args) -> int:
                 f"error: unknown fault models {', '.join(unknown)} "
                 f"(choose from {', '.join(FAULT_MODELS)} or 'all')")
 
+    if args.exhaustive:
+        return _faultsim_exhaustive(args, schemes, models)
+
     campaigns = scheme_comparison(
         workload=args.workload, schemes=schemes, models=models,
         points=args.points, seed=args.seed, duration_s=args.duration,
@@ -522,6 +525,61 @@ def cmd_faultsim(args) -> int:
             json_mod.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def _faultsim_exhaustive(args, schemes, models) -> int:
+    import json as json_mod
+
+    from .exhaustive import ExhaustiveSpec, exhaustive_map
+    from .faultsim import FaultSimError, fault_victim
+
+    try:
+        bits = tuple(range(32)) if args.bits is None else tuple(
+            int(b) for b in args.bits.split(",") if b.strip())
+    except ValueError:
+        raise SystemExit(f"error: --bits wants comma-separated bit "
+                         f"positions, got {args.bits!r}")
+    store = None
+    if args.store:
+        from .store import ResultStore
+        store = ResultStore(args.store)
+    try:
+        results = {}
+        for scheme in schemes:
+            try:
+                spec = ExhaustiveSpec(
+                    victim=fault_victim(workload=args.workload,
+                                        scheme=scheme,
+                                        duration_s=args.duration,
+                                        backend=args.backend),
+                    models=tuple(models),
+                    start_step=args.start_step, slice_steps=args.slice,
+                    step_stride=args.stride, bits=bits,
+                    ckpt_windows=args.windows,
+                    signal_slots=args.signal_slots,
+                )
+            except FaultSimError as exc:
+                raise SystemExit(f"error: {exc}")
+            result = exhaustive_map(spec, workers=args.workers,
+                                    naive=args.naive, store=store)
+            results[scheme] = result
+            print(result.render())
+            corrupting = result.map.corruption_count()
+            print(f"{scheme}: {corrupting} corrupting injections "
+                  f"(sdc+brick) out of {result.map.total}  "
+                  f"[fingerprint {result.map.fingerprint()[:16]}]")
+            print()
+        if args.json:
+            payload = {scheme: result.to_dict()
+                       for scheme, result in results.items()}
+            with open(args.json, "w") as handle:
+                json_mod.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.json}")
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -808,6 +866,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(p)
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the vulnerability maps as JSON here")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="enumerate the complete injection space instead "
+                        "of sampling --points draws (see repro.exhaustive)")
+    p.add_argument("--naive", action="store_true",
+                   help="with --exhaustive: disable fault-space reduction "
+                        "and snapshot forking (the differential oracle)")
+    p.add_argument("--start-step", type=int, default=0,
+                   help="with --exhaustive: first instruction step of the "
+                        "step-model slice")
+    p.add_argument("--slice", type=int, default=None, metavar="STEPS",
+                   help="with --exhaustive: limit step models to STEPS "
+                        "instruction steps (default: the whole run)")
+    p.add_argument("--stride", type=int, default=1,
+                   help="with --exhaustive: stride over instruction steps")
+    p.add_argument("--bits", default=None, metavar="B1,B2,..",
+                   help="with --exhaustive: bit positions to flip "
+                        "(default: all 32)")
+    p.add_argument("--windows", type=int, default=1,
+                   help="with --exhaustive: checkpoint windows for the "
+                        "image-fault grids")
+    p.add_argument("--signal-slots", type=int, default=8,
+                   help="with --exhaustive: monitor-signal grid slots")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="with --exhaustive: memoize classifications in a "
+                        "content-addressed store at DIR; warm reruns "
+                        "simulate nothing")
     p.set_defaults(func=cmd_faultsim)
 
     p = sub.add_parser("adversary",

@@ -21,6 +21,7 @@ turns that sweep into campaign data:
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -81,9 +82,25 @@ def fault_victim(workload: str = "crc16", scheme: str = "nvp",
 
 @dataclass
 class ExecutionProfile:
-    """Region occupancy of one stable-power reference execution."""
+    """Region occupancy of one stable-power reference execution.
+
+    Region ids change only at MARK commits, so the per-step list collapses
+    into a handful of runs; queries bisect the run boundaries (the same
+    O(log n) treatment ``AttackSchedule.source_at`` got) instead of
+    indexing a step-sized list per lookup.
+    """
 
     regions: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        starts: List[int] = []
+        values: List[int] = []
+        for step, region in enumerate(self.regions):
+            if not values or region != values[-1]:
+                starts.append(step)
+                values.append(region)
+        self._starts = starts
+        self._values = values
 
     @property
     def total_steps(self) -> int:
@@ -91,7 +108,10 @@ class ExecutionProfile:
 
     def region_at(self, step: int) -> int:
         """The last-committed region when instruction ``step`` executes."""
-        return self.regions[step % len(self.regions)] if self.regions else 0
+        if not self.regions:
+            return 0
+        step %= len(self.regions)
+        return self._values[bisect.bisect_right(self._starts, step) - 1]
 
 
 def profile_execution(linked,
@@ -142,9 +162,15 @@ class FaultCampaignSpec:
         rng = random.Random(self.seed)
         duration = self.victim.duration_s
         plan: List[FaultSpec] = []
+        seen = set()
         for model in self.models:
             for index in range(self.points):
-                plan.append(self._draw(model, index, rng, profile, duration))
+                fault = self._draw(model, index, rng, profile, duration)
+                # The RNG samples with replacement; a repeated draw is the
+                # same injection and would be simulated (and counted) twice.
+                if fault not in seen:
+                    seen.add(fault)
+                    plan.append(fault)
         return plan
 
     def _draw(self, model: str, index: int, rng: random.Random,

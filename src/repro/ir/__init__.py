@@ -9,7 +9,13 @@ from .dominators import (
     immediate_dominators,
     postdominators,
 )
-from .liveness import LivenessResult, live_intervals, liveness
+from .liveness import (
+    LinkedLiveness,
+    LivenessResult,
+    linked_liveness,
+    live_intervals,
+    liveness,
+)
 from .loops import Loop, find_loops, infer_loop_bounds, loop_of_block
 from .reaching import ReachingResult, reaching_definitions
 from .wcet import (
@@ -23,11 +29,12 @@ from .wcet import (
 
 __all__ = [
     "AntiDep", "BasicBlock", "DEFAULT_LOOP_BOUND", "Function",
-    "LivenessResult", "Loop", "MemRef", "Module", "ProgramDependenceGraph",
+    "LinkedLiveness", "LivenessResult", "Loop", "MemRef", "Module",
+    "ProgramDependenceGraph",
     "ReachingResult", "UNBOUNDED", "block_cycles", "clobbers_all_memory",
     "control_dependence", "dominators", "find_loops", "function_wcet",
     "immediate_dominators", "infer_loop_bounds", "live_intervals",
-    "liveness", "loop_of_block",
+    "linked_liveness", "liveness", "loop_of_block",
     "max_region_gap", "may_alias", "mem_ref", "memory_antideps",
     "module_wcet", "must_alias", "postdominators", "reaching_definitions",
     "remove_unreachable", "split_block",

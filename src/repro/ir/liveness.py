@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..isa.instructions import Instr, Opcode
 from .cfg import Function
@@ -77,6 +77,115 @@ def liveness(function: Function,
                 changed = True
     return LivenessResult(live_in=live_in, live_out=live_out,
                           ignore_ckpt_uses=ignore_ckpt_uses)
+
+
+@dataclass
+class LinkedLiveness:
+    """Per-pc liveness of the architectural registers of a linked program.
+
+    ``live_in[pc]`` / ``live_out[pc]`` are bitmasks over register indices:
+    bit ``r`` set means ``Rr`` is live immediately before / after the
+    instruction at absolute index ``pc``.  Computed interprocedurally (see
+    :func:`linked_liveness`), so a register is dead at ``pc`` only when *no*
+    continuation of the whole program — including through calls and returns
+    — reads it before redefining it.
+    """
+
+    live_in: List[int]
+    live_out: List[int]
+
+    def is_live_before(self, pc: int, reg: int) -> bool:
+        """Is architectural register ``reg`` live just before ``pc``?"""
+        return bool(self.live_in[pc] >> reg & 1)
+
+    def live_before(self, pc: int) -> FrozenSet[int]:
+        """Indices of the registers live immediately before ``pc``."""
+        mask = self.live_in[pc]
+        return frozenset(r for r in range(mask.bit_length()) if mask >> r & 1)
+
+
+def linked_liveness(program, ignore_ckpt_uses: bool = False) -> LinkedLiveness:
+    """Interprocedural per-instruction liveness of a ``LinkedProgram``.
+
+    A backward dataflow fixpoint over the flat machine-level instruction
+    stream, context-insensitively threaded through calls:
+
+    * ``BNZ``  flows from its target and the fallthrough slot;
+    * ``JMP``  flows from its target;
+    * ``CALL`` flows from the callee's entry (liveness after the call
+      reaches the call site through the callee's ``RET`` edges — the
+      machine's calling convention saves no registers, so a register the
+      callee clobbers on every path is genuinely dead across the call);
+    * ``RET``  flows from the return point (``call_pc + 1``) of *every*
+      call site of its owning function — context-insensitive, hence an
+      over-approximation that can only report extra liveness, never less;
+    * ``HALT`` is a sink (the machine reads no registers after halting).
+
+    ``ignore_ckpt_uses`` mirrors :func:`liveness`; the default (``False``)
+    conservatively counts a ``CKPT`` as reading its source register, which
+    is what fault-space pruning wants: a flip that lands in checkpoint
+    storage stays un-pruned even though stable-power classification could
+    never observe it.
+
+    The result over-approximates dynamic liveness on every real execution
+    path, so "dead at ``pc``" is sound evidence that a register bit-flip
+    delivered just before ``pc`` cannot change any observable behaviour.
+    """
+    instrs = program.instrs
+    n = len(instrs)
+
+    # Return points per function: every slot following a CALL to it.
+    return_points: Dict[str, List[int]] = {name: [] for name in program.func_entry}
+    for pc, instr in enumerate(instrs):
+        if instr.op is Opcode.CALL and pc + 1 < n:
+            return_points[instr.callee].append(pc + 1)
+
+    def successors(pc: int) -> List[int]:
+        instr = instrs[pc]
+        if instr.op is Opcode.HALT:
+            return []
+        if instr.op is Opcode.JMP or instr.op is Opcode.CALL:
+            return [program.targets[pc]]
+        if instr.op is Opcode.BNZ:
+            succ = [program.targets[pc]]
+            if pc + 1 < n:
+                succ.append(pc + 1)
+            return succ
+        if instr.op is Opcode.RET:
+            return list(return_points[program.owner[pc]])
+        return [pc + 1] if pc + 1 < n else []
+
+    use_mask = [0] * n
+    def_mask = [0] * n
+    preds: List[List[int]] = [[] for _ in range(n)]
+    for pc, instr in enumerate(instrs):
+        if not (ignore_ckpt_uses and instr.op is Opcode.CKPT):
+            for reg in instr.uses():
+                use_mask[pc] |= 1 << reg.index
+        for reg in instr.defs():
+            def_mask[pc] |= 1 << reg.index
+        for succ in successors(pc):
+            preds[succ].append(pc)
+
+    live_in = [0] * n
+    live_out = [0] * n
+    worklist = list(range(n - 1, -1, -1))
+    queued = [True] * n
+    while worklist:
+        pc = worklist.pop()
+        queued[pc] = False
+        out = 0
+        for succ in successors(pc):
+            out |= live_in[succ]
+        new_in = use_mask[pc] | (out & ~def_mask[pc])
+        live_out[pc] = out
+        if new_in != live_in[pc]:
+            live_in[pc] = new_in
+            for pred in preds[pc]:
+                if not queued[pred]:
+                    queued[pred] = True
+                    worklist.append(pred)
+    return LinkedLiveness(live_in=live_in, live_out=live_out)
 
 
 def live_intervals(function: Function) -> Dict[object, Tuple[int, int]]:

@@ -5,9 +5,16 @@ from .backend import (
     ExecutionBackend,
     InterpreterBackend,
     backend_for,
+    drain,
 )
 from .gecko_runtime import GeckoRuntime, MODE_JIT, MODE_ROLLBACK
-from .machine import Machine, StepResult, default_sensor_stream, run_to_completion
+from .machine import (
+    Machine,
+    MachineSnapshot,
+    StepResult,
+    default_sensor_stream,
+    run_to_completion,
+)
 from .metrics import (
     OutputCheck,
     check_outputs,
@@ -32,13 +39,13 @@ __all__ = [
     "ATTACK_HARVEST_EFFICIENCY", "BACKEND_NAMES", "DeviceState",
     "ExecutionBackend", "GeckoRuntime",
     "IntermittentSimulator", "InterpreterBackend", "MODE_JIT",
-    "MODE_ROLLBACK", "Machine",
+    "MODE_ROLLBACK", "Machine", "MachineSnapshot",
     "NVPRuntime", "OutputCheck", "RollbackRuntime", "RuntimeStats",
     "SimConfig", "SimResult", "StepResult", "ThreadedBackend",
     "TraceEvent", "Tracer",
     "backend_for", "build_region_table",
     "check_outputs", "checkpoint_failure_rate", "default_sensor_stream",
-    "execute_slice", "forward_progress_rate", "progress_timeline",
+    "drain", "execute_slice", "forward_progress_rate", "progress_timeline",
     "relative_throughput", "run_to_completion",
 ]
 

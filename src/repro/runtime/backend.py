@@ -81,6 +81,30 @@ class InterpreterBackend:
         return cycles, None
 
 
+def drain(machine: Machine, backend: ExecutionBackend,
+          max_steps: int) -> Optional[Exception]:
+    """Run ``machine`` through ``backend`` until it halts, traps, or
+    exhausts ``max_steps``.
+
+    The slice-loop idiom shared by stable-power consumers (golden runs,
+    snapshot-forked fault injections): returns the fault that ended
+    execution (``None`` on a clean drain); whether the budget sufficed is
+    ``machine.halted``.  Stops early if a slice makes no progress (an
+    unpowered machine), leaving the caller to inspect state.
+    """
+    remaining = max_steps
+    while remaining > 0 and not machine.halted:
+        before = machine.instr_count
+        _, fault = backend.run_slice(machine, remaining)
+        if fault is not None:
+            return fault
+        executed = machine.instr_count - before
+        if executed == 0:
+            break
+        remaining -= executed
+    return None
+
+
 def backend_for(name: str) -> ExecutionBackend:
     """Resolve a backend by name ("interpreter" | "threaded").
 

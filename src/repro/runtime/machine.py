@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import enum
 import warnings
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import MachineFault
 from ..isa.instructions import Instr, Opcode
@@ -87,6 +88,38 @@ class StepResult(enum.Enum):
 
 #: Sentinel distinguishing "leave this hook alone" from "detach it".
 _UNSET = object()
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """One machine's complete architectural state, frozen at an instant.
+
+    Captures everything :meth:`Machine.restore` needs to resume execution
+    bit-for-bit — memory, registers, ``pc`` (which may point mid-block),
+    counters, volatile buffers, checkpoint bookkeeping, and the FRAM wear
+    vector — but *not* configuration (the program, the sensor stream) or
+    attached hooks, which belong to the machine the snapshot is restored
+    into.  Snapshots are immutable plain data: safe to keep in a golden
+    index while thousands of forked executions restore from them
+    (:mod:`repro.exhaustive`), and picklable for worker pools.
+    """
+
+    mem: Tuple[int, ...]
+    regs: Tuple[int, ...]
+    pc: int
+    halted: bool
+    powered: bool
+    cycles: int
+    instr_count: int
+    out_buffer: Tuple[int, ...]
+    committed_out: Tuple[int, ...]
+    sensor_cursor: int
+    ckpt_stores_executed: int
+    marks_executed: int
+    pending_rcolor: FrozenSet[int]
+    wear: Tuple[int, ...]
+
+
 
 
 def _deprecated_assign(name: str) -> None:
@@ -220,6 +253,57 @@ class Machine:
         ]
         totals.sort(key=lambda pair: -pair[1])
         return totals[:top]
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MachineSnapshot:
+        """Freeze the complete architectural state (see
+        :class:`MachineSnapshot`).  O(memory size); hooks and the program
+        are configuration, not state, and are not captured."""
+        return MachineSnapshot(
+            mem=tuple(self.mem),
+            regs=tuple(self.regs),
+            pc=self.pc,
+            halted=self.halted,
+            powered=self.powered,
+            cycles=self.cycles,
+            instr_count=self.instr_count,
+            out_buffer=tuple(self.out_buffer),
+            committed_out=tuple(self.committed_out),
+            sensor_cursor=self.sensor_cursor,
+            ckpt_stores_executed=self.ckpt_stores_executed,
+            marks_executed=self.marks_executed,
+            pending_rcolor=frozenset(self._pending_rcolor),
+            wear=tuple(self.wear),
+        )
+
+    def restore(self, snapshot: MachineSnapshot) -> None:
+        """Rewind to ``snapshot``, exactly.
+
+        State containers are updated in place (lists keep their identity),
+        so execution backends holding references — and compiled threaded
+        blocks, which re-fetch ``regs``/``mem``/``wear`` per call — resume
+        transparently.  A restored ``pc`` may fall mid-block: the threaded
+        backend compiles a lazy suffix block starting there, so restoring
+        is valid at *every* instruction boundary, not only block leaders.
+        Restoring a snapshot from a different program is undefined.
+        """
+        self.mem[:] = snapshot.mem
+        self.regs[:] = snapshot.regs
+        self.pc = snapshot.pc
+        self.halted = snapshot.halted
+        self.powered = snapshot.powered
+        self.cycles = snapshot.cycles
+        self.instr_count = snapshot.instr_count
+        self.out_buffer[:] = snapshot.out_buffer
+        self.committed_out[:] = snapshot.committed_out
+        self.sensor_cursor = snapshot.sensor_cursor
+        self.ckpt_stores_executed = snapshot.ckpt_stores_executed
+        self.marks_executed = snapshot.marks_executed
+        self._pending_rcolor.clear()
+        self._pending_rcolor.update(snapshot.pending_rcolor)
+        self.wear[:] = snapshot.wear
 
     # ------------------------------------------------------------------
     # Power events.

@@ -50,6 +50,14 @@ Block functions close over nothing picklable-hostile on the program:
 compiled blocks live in a module-level cache keyed by ``id(program)``
 with a weakref guard, so :class:`LinkedProgram` instances remain
 picklable for campaign worker pools.
+
+Because blocks are compiled lazily *per entry pc*, a ``pc`` that lands
+mid-block — a JIT-checkpoint restore, or a
+:meth:`~repro.runtime.machine.Machine.restore` from a
+:class:`~repro.runtime.machine.MachineSnapshot` taken between block
+boundaries (how ``repro.exhaustive`` forks injections off the golden
+trace) — simply becomes the leader of a fresh suffix block; no
+alignment with the static block leaders is required.
 """
 
 from __future__ import annotations

@@ -1,0 +1,357 @@
+"""Exhaustive fault-map tests: snapshot/restore round-trips, machine-level
+liveness, fault-space reduction soundness (the pruned==naive differential
+oracle), store memoization, and parallel determinism."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import compile_scheme
+from repro.exhaustive import (
+    ExhaustiveSpec,
+    capture_trace,
+    classify_fork,
+    enumerate_step_model,
+    enumerate_time_model,
+    exhaustive_map,
+    injection_digest,
+    program_digest,
+)
+from repro.faultsim import (
+    CKPT_CORRUPT,
+    FaultSimError,
+    FaultSpec,
+    IMAGE_PREFIX_WORDS,
+    INSTR_SKIP,
+    Outcome,
+    REG_FLIP,
+    SIGNAL_DROP,
+    fault_victim,
+)
+from repro.ir import linked_liveness
+from repro.isa import link, parse_program
+from repro.runtime import Machine, MachineSnapshot, backend_for, drain
+from repro.store import ResultStore
+from repro.workloads import source
+
+
+@pytest.fixture(scope="module")
+def crc16_nvp():
+    return compile_scheme(source("crc16"), "nvp")
+
+
+def _advance(machine, steps):
+    for _ in range(steps):
+        if machine.halted:
+            break
+        machine.step()
+
+
+def _state_of(machine):
+    return (list(machine.mem), list(machine.regs), machine.pc,
+            machine.halted, machine.powered, machine.cycles,
+            machine.instr_count, list(machine.out_buffer),
+            list(machine.committed_out), machine.sensor_cursor,
+            machine.ckpt_stores_executed, machine.marks_executed,
+            set(machine._pending_rcolor), list(machine.wear))
+
+
+# ----------------------------------------------------------------------
+# Machine.snapshot()/restore().
+# ----------------------------------------------------------------------
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("backend_name", ["interpreter", "threaded"])
+    def test_round_trip_completes_identically(self, crc16_nvp, backend_name):
+        linked = crc16_nvp.linked
+        backend = backend_for(backend_name)
+        machine = Machine(linked)
+        backend.run_slice(machine, 1000)
+        snap = machine.snapshot()
+        assert isinstance(snap, MachineSnapshot)
+
+        assert drain(machine, backend, 10**6) is None
+        reference = _state_of(machine)
+
+        machine.restore(snap)
+        assert machine.instr_count == 1000
+        assert drain(machine, backend, 10**6) is None
+        assert _state_of(machine) == reference
+
+    @pytest.mark.parametrize("backend_name", ["interpreter", "threaded"])
+    def test_fork_onto_fresh_machine(self, crc16_nvp, backend_name):
+        linked = crc16_nvp.linked
+        backend = backend_for(backend_name)
+        donor = Machine(linked)
+        backend.run_slice(donor, 777)
+        snap = donor.snapshot()
+
+        fork = Machine(linked)
+        fork.restore(snap)
+        assert _state_of(fork) == _state_of(donor)
+        assert drain(fork, backend, 10**6) is None
+        assert drain(donor, backend, 10**6) is None
+        assert _state_of(fork) == _state_of(donor)
+
+    def test_mid_block_suffix_resume_on_threaded(self, crc16_nvp):
+        # Pick a cut whose pc is NOT a block leader: the threaded backend
+        # must lazily compile the suffix block starting at that pc.
+        linked = crc16_nvp.linked
+        leaders = linked.block_leaders()
+        machine = Machine(linked)
+        cut = None
+        for step in range(1, 2000):
+            machine.step()
+            if machine.pc not in leaders and not machine.halted:
+                cut = machine.snapshot()
+                break
+        assert cut is not None and cut.pc not in leaders
+
+        interp, threaded = Machine(linked), Machine(linked)
+        interp.restore(cut)
+        threaded.restore(cut)
+        assert drain(interp, backend_for("interpreter"), 10**6) is None
+        assert drain(threaded, backend_for("threaded"), 10**6) is None
+        assert _state_of(interp) == _state_of(threaded)
+
+    def test_snapshot_is_immutable_plain_data(self, crc16_nvp):
+        machine = Machine(crc16_nvp.linked)
+        _advance(machine, 100)
+        snap = machine.snapshot()
+        with pytest.raises(AttributeError):
+            snap.pc = 0
+        # Mutating the machine afterwards must not leak into the snapshot.
+        before = snap.regs
+        _advance(machine, 100)
+        assert snap.regs == before
+
+    @given(cut=st.integers(min_value=0, max_value=3000),
+           extra=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_restore_rewinds_any_progress(self, crc16_nvp, cut, extra):
+        machine = Machine(crc16_nvp.linked)
+        _advance(machine, cut)
+        snap = machine.snapshot()
+        reference = _state_of(machine)
+        _advance(machine, extra)
+        machine.restore(snap)
+        assert _state_of(machine) == reference
+
+
+# ----------------------------------------------------------------------
+# Machine-level interprocedural liveness.
+# ----------------------------------------------------------------------
+class TestLinkedLiveness:
+    def test_straight_line_and_call_flow(self):
+        linked = link(parse_program("""
+.data
+    s 1
+.func main
+    li R4, #1
+    li R5, #2
+    add R6, R4, R5
+    call bump
+    out R6
+    halt
+.func bump
+    li R7, #9
+    ret
+"""))
+        lv = linked_liveness(linked)
+        # add reads R4 and R5.
+        assert lv.is_live_before(2, 4) and lv.is_live_before(2, 5)
+        # R4 is dead before its own definition.
+        assert not lv.is_live_before(0, 4)
+        # R6 is live across the call (callee does not clobber it) and at
+        # the callee's ret, which flows back to the return point.
+        call_pc = linked.func_entry["main"] + 3
+        ret_pc = linked.func_entry["bump"] + 1
+        assert lv.is_live_before(call_pc, 6)
+        assert lv.is_live_before(ret_pc, 6)
+        # Nothing is live after halt.
+        halt_pc = linked.func_entry["main"] + 5
+        assert lv.live_out[halt_pc] == 0
+
+    def test_callee_clobber_kills_liveness_across_call(self):
+        linked = link(parse_program("""
+.data
+    s 1
+.func main
+    li R6, #1
+    call bump
+    out R6
+    halt
+.func bump
+    li R6, #9
+    ret
+"""))
+        lv = linked_liveness(linked)
+        # bump redefines R6 on every path before the return-point read,
+        # so the value from before the call is dead across it.
+        call_pc = linked.func_entry["main"] + 1
+        assert not lv.is_live_before(call_pc, 6)
+        assert not lv.is_live_before(linked.func_entry["bump"], 6)
+
+    def test_branch_merges_both_paths(self):
+        linked = link(parse_program("""
+.data
+    s 1
+.func main
+    li R4, #1
+    li R5, #2
+    bnz R4, .skip
+    add R5, R5, #1
+skip:
+    out R5
+    halt
+"""))
+        lv = linked_liveness(linked)
+        bnz_pc = linked.func_entry["main"] + 2
+        # The branch reads R4; R5 is live through both arms.
+        assert lv.is_live_before(bnz_pc, 4)
+        assert lv.is_live_before(bnz_pc, 5)
+        assert not lv.is_live_before(bnz_pc + 1, 4)
+
+    def test_dead_register_flips_are_masked(self, crc16_nvp):
+        """Empirical soundness: flipping a statically dead register never
+        changes the stable-power run."""
+        linked = crc16_nvp.linked
+        lv = linked_liveness(linked)
+        trace = capture_trace(linked, snapshot_stride=64)
+        backend = backend_for("threaded")
+        rng = random.Random(7)
+        checked = 0
+        while checked < 12:
+            step = rng.randrange(trace.golden_steps)
+            dead = [r for r in range(16)
+                    if not lv.is_live_before(trace.pcs[step], r)]
+            if not dead:
+                continue
+            fault = FaultSpec(model=REG_FLIP, trigger_step=step,
+                              target=rng.choice(dead),
+                              bit=rng.randrange(32))
+            outcome, error = classify_fork(linked, backend, trace, fault)
+            assert (outcome, error) == (Outcome.MASKED.value, None), fault
+            checked += 1
+
+
+# ----------------------------------------------------------------------
+# Space enumeration.
+# ----------------------------------------------------------------------
+class TestSpace:
+    def test_spec_validation(self):
+        with pytest.raises(FaultSimError):
+            ExhaustiveSpec(models=("gamma_burst",))
+        with pytest.raises(FaultSimError):
+            ExhaustiveSpec(bits=(33,))
+        with pytest.raises(FaultSimError):
+            ExhaustiveSpec(step_stride=0)
+        with pytest.raises(FaultSimError):
+            ExhaustiveSpec(slice_steps=0)
+
+    def test_step_enumeration_is_complete_and_canonical(self, crc16_nvp):
+        trace = capture_trace(crc16_nvp.linked, snapshot_stride=64)
+        spec = ExhaustiveSpec(victim=fault_victim("crc16"),
+                              start_step=10, slice_steps=3, bits=(0, 31))
+        flips = list(enumerate_step_model(spec, REG_FLIP, trace.profile))
+        assert len(flips) == 3 * 16 * 2
+        assert len(set(flips)) == len(flips)
+        assert flips == sorted(
+            flips, key=lambda f: (f.trigger_step, f.target, f.bit))
+        skips = list(enumerate_step_model(spec, INSTR_SKIP, trace.profile))
+        assert [f.trigger_step for f in skips] == [10, 11, 12]
+
+    def test_time_grids_are_deterministic(self):
+        spec = ExhaustiveSpec(victim=fault_victim("crc16"),
+                              ckpt_windows=2, signal_slots=4, bits=(0,))
+        corrupt = enumerate_time_model(spec, CKPT_CORRUPT)
+        assert len(corrupt) == 2 * IMAGE_PREFIX_WORDS
+        assert corrupt == enumerate_time_model(spec, CKPT_CORRUPT)
+        signal = enumerate_time_model(spec, SIGNAL_DROP)
+        assert len(signal) == 4
+        duration = spec.victim.duration_s
+        assert all(f.trigger_time_s < 0.9 * duration for f in signal)
+
+
+# ----------------------------------------------------------------------
+# The differential oracle: reduced+forked == naive from-reset.
+# ----------------------------------------------------------------------
+class TestDifferential:
+    @pytest.mark.parametrize("backend_name", ["interpreter", "threaded"])
+    def test_pruned_forked_matches_naive(self, backend_name):
+        spec = ExhaustiveSpec(
+            victim=fault_victim("crc16", "nvp", backend=backend_name),
+            models=(REG_FLIP, INSTR_SKIP),
+            start_step=100, slice_steps=4, bits=(0, 31),
+        )
+        reduced = exhaustive_map(spec)
+        naive = exhaustive_map(spec, naive=True)
+        assert reduced.map.fingerprint() == naive.map.fingerprint()
+        # The reduction must actually reduce, not just agree.
+        assert reduced.stats.representatives < naive.stats.representatives
+        assert naive.stats.representatives == reduced.stats.total_enumerated
+
+    def test_backends_agree_on_the_same_map(self):
+        fingerprints = set()
+        for backend_name in ("interpreter", "threaded"):
+            spec = ExhaustiveSpec(
+                victim=fault_victim("crc16", "nvp", backend=backend_name),
+                models=(REG_FLIP,), start_step=300, slice_steps=3,
+                bits=(5, 17),
+            )
+            fingerprints.add(exhaustive_map(spec).map.fingerprint())
+        assert len(fingerprints) == 1
+
+    def test_reduction_factor_reaches_ten_x_on_full_bits(self):
+        spec = ExhaustiveSpec(
+            victim=fault_victim("crc16", "nvp", backend="threaded"),
+            models=(REG_FLIP,), start_step=100, slice_steps=8,
+        )
+        result = exhaustive_map(spec)
+        assert result.stats.reduction_factor() >= 10.0
+
+
+# ----------------------------------------------------------------------
+# Store memoization.
+# ----------------------------------------------------------------------
+class TestStoreMemoization:
+    def test_warm_rerun_simulates_nothing(self, tmp_path):
+        spec = ExhaustiveSpec(
+            victim=fault_victim("crc16", "nvp", duration_s=0.1,
+                                backend="threaded"),
+            models=(REG_FLIP, SIGNAL_DROP),
+            start_step=200, slice_steps=4, bits=(0, 31), signal_slots=2,
+        )
+        with ResultStore(str(tmp_path / "store")) as store:
+            cold = exhaustive_map(spec, store=store)
+            assert cold.stats.executed_simulations > 0
+            assert cold.stats.store_puts == cold.stats.simulated
+            warm = exhaustive_map(spec, store=store)
+        assert warm.stats.executed_simulations == 0
+        assert warm.stats.store_hits == cold.stats.representatives
+        assert warm.map.fingerprint() == cold.map.fingerprint()
+
+    def test_injection_digest_is_content_only(self, crc16_nvp):
+        digest = program_digest(crc16_nvp.linked)
+        fault = FaultSpec(model=REG_FLIP, trigger_step=5, target=3, bit=2)
+        a = injection_digest(digest, "nvp", "crc16", fault, budget=1000)
+        b = injection_digest(digest, "nvp", "crc16", fault, budget=1000)
+        assert a == b
+        assert a != injection_digest(digest, "gecko", "crc16", fault, 1000)
+        assert a != injection_digest(digest, "nvp", "crc16", fault, 999)
+
+
+# ----------------------------------------------------------------------
+# Parallel determinism.
+# ----------------------------------------------------------------------
+class TestParallelDeterminism:
+    def test_workers_do_not_change_the_map(self):
+        spec = ExhaustiveSpec(
+            victim=fault_victim("crc16", "nvp", backend="threaded"),
+            models=(REG_FLIP,), start_step=50, slice_steps=6, bits=(0,),
+        )
+        serial = exhaustive_map(spec, workers=1)
+        parallel = exhaustive_map(spec, workers=2)
+        assert serial.map.fingerprint() == parallel.map.fingerprint()
+        assert serial.stats.representatives == parallel.stats.representatives

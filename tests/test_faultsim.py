@@ -280,6 +280,32 @@ class TestPlanning:
         assert len(plan) == 4
         assert {fault.model for fault in plan} == {CKPT_CORRUPT, SIGNAL_DROP}
 
+    def test_plan_never_repeats_an_injection(self):
+        """The RNG samples with replacement; a repeated draw is the same
+        injection and must not be simulated (and counted) twice."""
+        spec = FaultCampaignSpec(points=200, models=(INSTR_SKIP,), seed=0)
+        plan = spec.plan()
+        assert len(plan) == len(set(plan))
+        # Collisions over a ~1000-step grid at 200 draws are a statistical
+        # certainty: the plan must come back visibly deduplicated.
+        assert len(plan) < 200
+
+    def test_region_at_matches_linear_scan(self):
+        from repro.faultsim.explorer import ExecutionProfile
+
+        regions = [0] * 7 + [1] * 3 + [2] * 1 + [1] * 5
+        profile = ExecutionProfile(regions=regions)
+        for step in range(len(regions)):
+            assert profile.region_at(step) == regions[step]
+        # Steps past the end wrap around (the run loops on real hardware).
+        assert profile.region_at(len(regions)) == regions[0]
+        assert profile.region_at(len(regions) + 9) == regions[9]
+
+    def test_region_at_empty_profile_is_region_zero(self):
+        from repro.faultsim.explorer import ExecutionProfile
+
+        assert ExecutionProfile(regions=[]).region_at(123) == 0
+
 
 # ----------------------------------------------------------------------
 # End to end: the §VII-B3 claim, and serial/parallel bit-identity.
