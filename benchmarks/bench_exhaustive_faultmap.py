@@ -21,7 +21,7 @@ from _util import bar, emit, run_once
 from repro.exhaustive import ExhaustiveSpec, exhaustive_map
 from repro.faultsim import FAULT_MODELS, INSTR_SKIP, REG_FLIP, fault_victim
 
-FULL_WORKLOADS = ("crc32", "blink")
+FULL_WORKLOADS = ("crc32", "blink", "crc16")
 WORKERS = 4
 REDUCTION_FLOOR = 10.0
 SLICE_WORKLOAD = "crc16"

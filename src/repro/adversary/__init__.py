@@ -32,6 +32,14 @@ Quickstart::
 """
 
 from .frontier import FrontierPoint, ParetoFrontier, more_robust
+from .isrspace import (
+    MAX_ARRIVALS,
+    IsrPhaseCandidate,
+    IsrPhaseSpace,
+    isr_attack_space,
+    render_isr_comparison,
+    search_isr_defense,
+)
 from .objectives import (
     OBJECTIVES,
     AttackScores,
@@ -81,11 +89,13 @@ __all__ = [
     "AdversaryError", "AdversaryResult", "AdversarySearch", "AnnealStrategy",
     "AttackCandidate", "AttackScores", "AttackSpace", "Bounds",
     "DEFAULT_BOUNDS", "DefenseReport", "Evaluation", "FoundAttack",
-    "FrontierPoint", "GridStrategy", "HalvingStrategy", "OBJECTIVES",
+    "FrontierPoint", "GridStrategy", "HalvingStrategy",
+    "IsrPhaseCandidate", "IsrPhaseSpace", "MAX_ARRIVALS", "OBJECTIVES",
     "ObjectiveWeights", "PRUNE_THRESHOLD_V", "ParetoFrontier",
     "RandomStrategy", "RobustnessReport", "STRATEGIES", "SearchStats",
     "SearchStrategy", "Trial", "adversary_victim", "compare_defenses",
-    "corruption_rate", "make_strategy", "more_robust", "objective_fn",
-    "progress_loss", "replay", "rollback_pressure", "score",
-    "search_defense", "unsimulated",
+    "corruption_rate", "isr_attack_space", "make_strategy", "more_robust",
+    "objective_fn", "progress_loss", "render_isr_comparison", "replay",
+    "rollback_pressure", "score", "search_defense", "search_isr_defense",
+    "unsimulated",
 ]

@@ -70,18 +70,18 @@ from .runtime import (
     run_to_completion,
     runtime_for,
 )
-from .workloads import WORKLOAD_NAMES, source
+from .workloads import REGISTRY, source
 
 
 def _load_source(program: str) -> str:
-    if program in WORKLOAD_NAMES:
+    if program in REGISTRY:
         return source(program)
     if os.path.exists(program):
         with open(program) as handle:
             return handle.read()
     raise SystemExit(
         f"error: {program!r} is neither a bundled workload "
-        f"({', '.join(WORKLOAD_NAMES)}) nor a readable file"
+        f"({', '.join(sorted(REGISTRY))}) nor a readable file"
     )
 
 
@@ -143,10 +143,8 @@ def _compile(args) -> object:
 # Subcommands.
 # ----------------------------------------------------------------------
 def cmd_workloads(args) -> int:
-    for name in WORKLOAD_NAMES:
-        lines = source(name).strip().splitlines()
-        blurb = lines[0].lstrip("/ ") if lines else ""
-        print(f"{name:14s} {blurb}")
+    for entry in REGISTRY.values():
+        print(f"{entry.name:14s} {entry.kind:9s} {entry.blurb}")
     return 0
 
 
@@ -373,7 +371,7 @@ def cmd_campaign(args) -> int:
     from .eval.common import VictimConfig
     from .eval.resilient import RetryPolicy
 
-    if args.program in WORKLOAD_NAMES:
+    if args.program in REGISTRY:
         victim = VictimConfig(workload=args.program)
     else:
         victim = VictimConfig(workload=os.path.basename(args.program),
@@ -487,10 +485,10 @@ def cmd_faultsim(args) -> int:
 
     from .faultsim import FAULT_MODELS, scheme_comparison
 
-    if args.workload not in WORKLOAD_NAMES:
+    if args.workload not in REGISTRY:
         raise SystemExit(
             f"error: faultsim takes a bundled workload name "
-            f"({', '.join(WORKLOAD_NAMES)}), got {args.workload!r}")
+            f"({', '.join(sorted(REGISTRY))}), got {args.workload!r}")
     schemes = [s.strip() for s in args.scheme.split(",") if s.strip()]
     if args.fault_model.strip() == "all":
         models = FAULT_MODELS
@@ -611,10 +609,10 @@ def cmd_adversary(args) -> int:
         print(f"final state:      {result.final_state}")
         return 0
 
-    if args.workload not in WORKLOAD_NAMES:
+    if args.workload not in REGISTRY:
         raise SystemExit(
             f"error: adversary takes a bundled workload name "
-            f"({', '.join(WORKLOAD_NAMES)}), got {args.workload!r}")
+            f"({', '.join(sorted(REGISTRY))}), got {args.workload!r}")
     schemes = tuple(s.strip() for s in args.scheme.split(",") if s.strip())
     report = compare_defenses(
         workload=args.workload, schemes=schemes, strategy=args.strategy,

@@ -47,7 +47,8 @@ def lower_function(function: Function) -> MachineFunction:
 
 def lower_module(module: Module) -> MachineProgram:
     """Flatten an allocated IR module into a machine program."""
-    program = MachineProgram(entry=module.entry)
+    program = MachineProgram(entry=module.entry, isrs=dict(module.isrs),
+                             uses_periph=module.uses_periph)
     for name, size in module.globals.items():
         program.add_data(name, size, module.init.get(name))
     for name, function in module.functions.items():

@@ -19,7 +19,7 @@ those.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, FrozenSet, List, Optional, Union
 
 from ..errors import CompileError
 from ..isa.instructions import Instr, Opcode
@@ -134,6 +134,10 @@ def _prepare(source: SourceOrModule, optimize: bool = True) -> Module:
     # The static-frame calling convention cannot express recursion; fail
     # loudly here rather than miscompile (call_order raises on cycles).
     module.call_order()
+    # ISR handler closures must be well-formed for every scheme (the
+    # exclusivity rules below are what make skipping their region
+    # instrumentation sound).
+    _isr_closures(module)
     if optimize:
         # Step 1 of the paper's pipeline: traditional optimizations on the
         # IR before any crash-consistency instrumentation.  Constant
@@ -171,7 +175,13 @@ def compile_ratchet(source: SourceOrModule,
     """
     module = _prepare(source, optimize)
     alloc = allocate_module(module)
-    for function in module.functions.values():
+    isr_fns = _isr_functions(module)
+    for name, function in module.functions.items():
+        if name in isr_fns:
+            # Handler closures get no region instrumentation: the hub's
+            # frame push/pop is the crash-consistency mechanism around
+            # them (stale frames heal by re-delivery).
+            continue
         form_regions(function, loop_headers=True)
         insert_checkpoints(function, policy="ratchet")
         _check_idempotent(function)
@@ -211,7 +221,13 @@ def compile_gecko(source: SourceOrModule,
     stats = CompileStats(scheme="gecko" if prune else "gecko-nopruning")
     prune_results: Dict[str, PruneResult] = {}
 
+    isr_fns = _isr_functions(module)
     for name, function in module.functions.items():
+        if name in isr_fns:
+            # No region instrumentation inside handler closures; their
+            # whole activation must instead fit the power-on budget,
+            # checked below (WCET, strict loop bounds).
+            continue
         # Steps 2-4: form regions, split against the WCET budget, re-form.
         form_regions(function)
         split_regions(function, max(region_budget - _SPLIT_MARGIN, 32))
@@ -233,9 +249,12 @@ def compile_gecko(source: SourceOrModule,
         stats.dynamic_fallbacks += color_stats.dynamic_fallbacks
         verify_region_budget(function, region_budget)
 
+    _check_isr_wcet(module, region_budget)
+
     renumber_regions(module)
     for name, function in module.functions.items():
-        _attach_plans(function, prune_results[name].checkpoints)
+        if name in prune_results:
+            _attach_plans(function, prune_results[name].checkpoints)
 
     linked = link(lower_module(module))
     stats.regions = linked.count_opcode(Opcode.MARK)
@@ -487,6 +506,115 @@ def _attach_plans(function: Function, infos: List[CkptInfo]) -> None:
                         instrs=materialize_slice(infos, source.slice_elements),
                     )
             instr.meta["plan"] = plan
+
+
+# ----------------------------------------------------------------------
+# ISR handler closures.
+# ----------------------------------------------------------------------
+def _isr_closures(module: Module) -> Dict[int, FrozenSet[str]]:
+    """Per-vector handler closures, with the exclusivity rules enforced.
+
+    A handler closure (the handler plus everything it may call) gets no
+    region/checkpoint instrumentation: its crash consistency comes from
+    the hub's frame push/pop and at-least-once re-delivery.  That is only
+    sound if closure functions are *exclusive* — never called from main
+    code or from another vector's closure — because an instrumented
+    caller re-entering a shared callee after rollback would replay the
+    callee without its checkpoints.
+    """
+    if not module.isrs:
+        return {}
+    callees: Dict[str, set] = {name: set() for name in module.functions}
+    callers: Dict[str, set] = {name: set() for name in module.functions}
+    for fname, _, instr in module.all_instructions():
+        if instr.op is Opcode.CALL:
+            callees[fname].add(instr.callee)
+            callers[instr.callee].add(fname)
+
+    closures: Dict[int, FrozenSet[str]] = {}
+    owner: Dict[str, int] = {}
+    for vector, handler in sorted(module.isrs.items()):
+        if handler not in module.functions:
+            raise CompileError(
+                f"isr vector {vector} names undefined function {handler!r}")
+        if handler == module.entry:
+            raise CompileError("the entry function cannot be an isr handler")
+        seen = {handler}
+        work = [handler]
+        while work:
+            for callee in callees[work.pop()]:
+                if callee not in seen:
+                    seen.add(callee)
+                    work.append(callee)
+        for fname in seen:
+            if fname in owner:
+                raise CompileError(
+                    f"function {fname!r} is shared between the vector-"
+                    f"{owner[fname]} and vector-{vector} isr closures"
+                )
+            owner[fname] = vector
+        closures[vector] = frozenset(seen)
+
+    if module.entry in owner:
+        raise CompileError(
+            f"isr closure (vector {owner[module.entry]}) reaches the entry "
+            f"function"
+        )
+    for fname, vector in owner.items():
+        outside = callers[fname] - closures[vector]
+        if outside:
+            raise CompileError(
+                f"function {fname!r} belongs to the vector-{vector} isr "
+                f"closure but is also called from "
+                f"{', '.join(sorted(outside))}"
+            )
+    return closures
+
+
+def _isr_functions(module: Module) -> FrozenSet[str]:
+    """Every function owned by any ISR handler closure."""
+    closures = _isr_closures(module)
+    names: set = set()
+    for fns in closures.values():
+        names |= fns
+    return frozenset(names)
+
+
+def _check_isr_wcet(module: Module, region_budget: int) -> None:
+    """Every handler activation must fit the guaranteed power-on budget.
+
+    Handlers carry no MARKs, so a whole activation is the atomic unit a
+    power failure can force to re-run; under GECKO it must therefore fit
+    ``region_budget`` like any split region.  Loop bounds are strict —
+    an unbounded loop inside a handler closure is a compile error.
+    """
+    if not module.isrs:
+        return
+    from ..errors import WCETError
+    from ..ir.wcet import function_wcet
+
+    closures = _isr_closures(module)
+    members: set = set()
+    for fns in closures.values():
+        members |= fns
+    wcets: Dict[str, int] = {}
+    for fname in module.call_order():
+        if fname not in members:
+            continue
+        try:
+            wcets[fname] = int(function_wcet(
+                module.functions[fname], callee_wcet=wcets, strict=True))
+        except WCETError as exc:
+            raise CompileError(
+                f"isr closure function {fname!r}: {exc}") from exc
+    for vector, handler in sorted(module.isrs.items()):
+        wcet = wcets[handler]
+        if wcet > region_budget:
+            raise CompileError(
+                f"isr handler {handler!r} (vector {vector}) has WCET "
+                f"{wcet} cycles, exceeding the region budget "
+                f"{region_budget}"
+            )
 
 
 def _check_idempotent(function: Function) -> None:

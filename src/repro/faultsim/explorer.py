@@ -91,6 +91,9 @@ class ExecutionProfile:
     """
 
     regions: List[int] = field(default_factory=list)
+    #: ISR activations of the profiling run: (vector, entry, exit) step
+    #: ranges, entry-ordered.  Empty for programs without peripherals.
+    isr_spans: List[Tuple[int, int, int]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         starts: List[int] = []
@@ -113,6 +116,19 @@ class ExecutionProfile:
         step %= len(self.regions)
         return self._values[bisect.bisect_right(self._starts, step) - 1]
 
+    def isr_at(self, step: int) -> Optional[int]:
+        """The vector whose handler is live at ``step``, if any."""
+        if self.regions:
+            step %= len(self.regions)
+        for vector, entry, exit_ in self.isr_spans:
+            if entry <= step < exit_:
+                return vector
+        return None
+
+    def isr_steps(self) -> int:
+        """Total profiled steps spent inside ISR activations."""
+        return sum(exit_ - entry for _, entry, exit_ in self.isr_spans)
+
 
 def profile_execution(linked,
                       max_steps: int = _PROFILE_STEP_CAP) -> ExecutionProfile:
@@ -125,7 +141,13 @@ def profile_execution(linked,
     if not machine.halted:
         raise FaultSimError(
             f"profiling run did not halt within {max_steps} steps")
-    return ExecutionProfile(regions=regions)
+    spans: List[Tuple[int, int, int]] = []
+    if machine._periph is not None:
+        for span in machine._periph.trace:
+            exit_step = span.exit_step if span.closed \
+                else machine.instr_count
+            spans.append((span.vector, span.entry_step, exit_step))
+    return ExecutionProfile(regions=regions, isr_spans=spans)
 
 
 @dataclass
@@ -135,6 +157,12 @@ class FaultCampaignSpec:
     ``points`` injections are drawn per fault model from a seeded RNG, so
     the same spec always expands to the same plan — the determinism the
     serial/parallel bit-identity guarantee rests on.
+
+    ``isr_window`` restricts *step-triggered* injections to instruction
+    steps where an interrupt handler is live (reactive workloads only),
+    tagged ``isr:<vector>`` — the adversary who times faults to interrupt
+    arrival.  Time-triggered models (checkpoint images, monitor signals)
+    are not handler-localized and draw as usual.
     """
 
     victim: VictimConfig = field(default_factory=fault_victim)
@@ -142,6 +170,7 @@ class FaultCampaignSpec:
     points: int = DEFAULT_POINTS
     seed: int = 0
     name: str = "faultsim"
+    isr_window: bool = False
 
     def __post_init__(self) -> None:
         unknown = [m for m in self.models if m not in FAULT_MODELS]
@@ -159,6 +188,10 @@ class FaultCampaignSpec:
         if any(model in STEP_MODELS for model in self.models):
             compiled = compiled or self.victim.compile()
             profile = profile_execution(compiled.linked)
+            if self.isr_window and not profile.isr_spans:
+                raise FaultSimError(
+                    f"isr_window campaign on {self.victim.workload!r}, but "
+                    f"its profiling run delivered no interrupts")
         rng = random.Random(self.seed)
         duration = self.victim.duration_s
         plan: List[FaultSpec] = []
@@ -177,8 +210,12 @@ class FaultCampaignSpec:
               profile: Optional[ExecutionProfile],
               duration: float) -> FaultSpec:
         if model in STEP_MODELS:
-            step = rng.randrange(profile.total_steps)
-            region = f"region:{profile.region_at(step)}"
+            if self.isr_window:
+                step = self._draw_isr_step(rng, profile)
+                region = f"isr:{profile.isr_at(step)}"
+            else:
+                step = rng.randrange(profile.total_steps)
+                region = f"region:{profile.region_at(step)}"
             if model == REG_FLIP:
                 return FaultSpec(model=model, trigger_step=step,
                                  target=rng.randrange(NUM_REGS),
@@ -202,6 +239,17 @@ class FaultCampaignSpec:
         t = rng.uniform(0.0, duration * 0.9)
         assert model in (SIGNAL_DROP, SIGNAL_SPURIOUS)
         return FaultSpec(model=model, trigger_time_s=t, region="signal")
+
+    def _draw_isr_step(self, rng: random.Random,
+                       profile: ExecutionProfile) -> int:
+        """One step uniform over the union of ISR activation ranges."""
+        flat = rng.randrange(max(1, profile.isr_steps()))
+        for _, entry, exit_ in profile.isr_spans:
+            width = exit_ - entry
+            if flat < width:
+                return entry + flat
+            flat -= width
+        return profile.isr_spans[-1][1]
 
     def experiment_spec(self,
                         plan: Optional[Sequence[FaultSpec]] = None,

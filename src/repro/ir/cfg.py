@@ -231,6 +231,10 @@ class Module:
     #: Optional initialisers: name -> word values.
     init: Dict[str, List[int]] = field(default_factory=dict)
     entry: str = "main"
+    #: Interrupt handlers: vector number -> function name (``repro.periph``).
+    isrs: Dict[int, str] = field(default_factory=dict)
+    #: True when the program touches peripheral MMIO (even with no ISRs).
+    uses_periph: bool = False
 
     def add_function(self, function: Function) -> None:
         if function.name in self.functions:

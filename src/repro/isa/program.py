@@ -58,6 +58,64 @@ RUNTIME_SYMBOLS: Tuple[Tuple[str, int], ...] = (
     ("__rcolor", NUM_REGS),
 )
 
+#: Interrupt sources and their fixed vector numbers (``repro.periph``).
+ISR_SOURCES: Dict[str, int] = {"timer": 0, "adc": 1, "gpio": 2, "dma": 3}
+
+#: Maximum ISR nesting depth (frame-stack slots).
+ISR_MAX_DEPTH = 4
+
+#: Words per saved interrupt frame: the interrupted pc plus all registers.
+ISR_FRAME_WORDS = 1 + NUM_REGS
+
+#: Peripheral/interrupt-controller control block, appended to the runtime
+#: symbols only when a program declares ISRs or touches a peripheral — the
+#: memory layout of straight-line programs is unchanged.  Everything the
+#: controller and device models need lives in these NVM words, so
+#: ``Machine.snapshot()``/``restore()`` and power cycles round-trip pending
+#: interrupts and peripheral state with no extra machinery.
+PERIPH_SYMBOLS: Tuple[Tuple[str, int], ...] = (
+    # interrupt controller
+    ("__irq_en", 1),         # per-source enable mask (bit v = vector v)
+    ("__irq_pend", 1),       # per-source pending mask
+    ("__irq_prio", len(ISR_SOURCES)),   # per-source priority (higher wins)
+    ("__irq_nest", 1),       # nesting policy: 0 = no preemption
+    ("__isr_sp", 1),         # frame-stack depth (0 = in main context)
+    ("__isr_stack", ISR_MAX_DEPTH),     # vector numbers, innermost last
+    ("__isr_frames", ISR_MAX_DEPTH * ISR_FRAME_WORDS),
+    # timer: fires vector 0 every `period` cycles while ctrl != 0
+    ("__t0_ctrl", 1),
+    ("__t0_period", 1),
+    ("__t0_base", 1),        # arming cycle + 1 (0 = unarmed)
+    ("__t0_count", 1),
+    # sensor ADC: samples the sensor stream, fires vector 1 per sample
+    ("__adc_ctrl", 1),
+    ("__adc_period", 1),
+    ("__adc_base", 1),
+    ("__adc_count", 1),
+    ("__adc_data", 1),
+    # GPIO: watches a scripted input line, fires vector 2 on edges
+    ("__gpio_ctrl", 1),
+    ("__gpio_period", 1),
+    ("__gpio_base", 1),
+    ("__gpio_count", 1),
+    ("__gpio_in", 1),
+    ("__gpio_out", 1),
+    # DMA: streams a block into __dma_buf, fires vector 3 on completion
+    ("__dma_ctrl", 1),
+    ("__dma_rate", 1),
+    ("__dma_base", 1),
+    ("__dma_xfrd", 1),
+    ("__dma_len", 1),
+    ("__dma_done", 1),
+    ("__dma_buf", 16),
+)
+
+#: Every peripheral/controller word is memory-mapped control state: a store
+#: to any of them can re-arm a device or unmask an interrupt, so the
+#: threaded block compiler ends the basic block after such a store to keep
+#: boundary semantics identical to the interpreter.
+PERIPH_CONTROL_SYMBOLS = frozenset(name for name, _ in PERIPH_SYMBOLS)
+
 
 @dataclass
 class MachineFunction:
@@ -107,6 +165,10 @@ class MachineProgram:
     #: Initialised data: name -> initial word values (defaults to zeros).
     init: Dict[str, List[int]] = field(default_factory=dict)
     entry: str = "main"
+    #: Interrupt handlers: vector number -> function name.
+    isrs: Dict[int, str] = field(default_factory=dict)
+    #: True when the program touches peripheral MMIO (even with no ISRs).
+    uses_periph: bool = False
 
     def add_function(self, function: MachineFunction) -> None:
         if function.name in self.functions:
@@ -163,6 +225,9 @@ class LinkedProgram:
     data_words: int
     init_words: List[int]
     entry: str = "main"
+    #: Interrupt vector table: vector number -> handler function name.
+    #: Non-empty only for programs linked with peripherals enabled.
+    isr_vectors: Dict[int, str] = field(default_factory=dict)
 
     def addr_of(self, name: str, offset: int = 0) -> int:
         """Absolute address of ``name[offset]``."""
@@ -220,6 +285,18 @@ def link(program: MachineProgram) -> LinkedProgram:
     for name, size in RUNTIME_SYMBOLS:
         symtab[name] = (cursor, size)
         cursor += size
+    if program.uses_periph or program.isrs:
+        for vector, fname in sorted(program.isrs.items()):
+            if not 0 <= vector < len(ISR_SOURCES):
+                raise AsmError(f"isr vector {vector} out of range")
+            if fname not in program.functions:
+                raise AsmError(f"isr vector {vector} names undefined "
+                               f"function {fname!r}")
+            if fname == program.entry:
+                raise AsmError("the entry function cannot be an isr")
+        for name, size in PERIPH_SYMBOLS:
+            symtab[name] = (cursor, size)
+            cursor += size
     ret_slot: Dict[str, int] = {}
     for fname in sorted(program.functions):
         if fname != program.entry:
@@ -279,6 +356,7 @@ def link(program: MachineProgram) -> LinkedProgram:
         data_words=data_words,
         init_words=init_words,
         entry=program.entry,
+        isr_vectors=dict(program.isrs),
     )
 
 

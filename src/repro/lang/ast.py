@@ -154,6 +154,9 @@ class FuncDecl:
     body: Optional[Block] = None
     returns_value: bool = True          # False for ``void``
     line: int = 0
+    #: Interrupt source this function handles (``isr timer f() {...}``),
+    #: or ``None`` for an ordinary function.
+    isr_source: Optional[str] = None
 
 
 @dataclass

@@ -10,7 +10,7 @@ from ..errors import LexError
 KEYWORDS = frozenset(
     {
         "int", "void", "if", "else", "while", "for", "return",
-        "break", "continue", "bound", "out", "sense",
+        "break", "continue", "bound", "out", "sense", "isr",
     }
 )
 

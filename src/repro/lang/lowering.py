@@ -20,6 +20,7 @@ from ..errors import SemanticError
 from ..isa import instructions as ins
 from ..isa.instructions import Instr, Opcode
 from ..isa.operands import Imm, Label, Sym, VReg, trunc_div, trunc_rem, wrap32
+from ..isa.program import ISR_SOURCES
 from ..ir.cfg import BasicBlock, Function, Module, remove_unreachable
 from . import ast
 from .parser import parse
@@ -35,6 +36,18 @@ _BINOP_OPCODES = {
 }
 
 Binding = Tuple[str, object]  # ("reg", VReg) | ("gscalar"|"garray", name[, size]) | ("larray", off, size)
+
+#: Peripheral intrinsics (name -> arity).  Calls to these names lower to
+#: MMIO loads/stores on the linker's peripheral control block; a user
+#: function of the same name shadows the intrinsic.
+_PERIPH_INTRINSICS: Dict[str, int] = {
+    "irq_enable": 1, "irq_disable": 1, "irq_pending": 0,
+    "irq_priority": 2, "irq_nest": 1,
+    "timer_start": 1, "timer_stop": 0, "timer_count": 0,
+    "adc_start": 1, "adc_stop": 0, "adc_read": 0, "adc_count": 0,
+    "gpio_watch": 1, "gpio_stop": 0, "gpio_read": 0, "gpio_write": 1,
+    "dma_start": 2, "dma_done": 0, "dma_get": 1,
+}
 
 
 def compile_source(source: str, entry: str = "main") -> Module:
@@ -69,6 +82,28 @@ def lower_program(program: ast.ProgramAst, entry: str = "main") -> Module:
 
     if entry not in func_decls:
         raise SemanticError(f"no {entry!r} function defined")
+
+    for decl in func_decls.values():
+        if decl.isr_source is None:
+            continue
+        if decl.isr_source not in ISR_SOURCES:
+            raise SemanticError(
+                f"line {decl.line}: unknown interrupt source "
+                f"{decl.isr_source!r} (want one of "
+                f"{', '.join(sorted(ISR_SOURCES))})"
+            )
+        if decl.name == entry:
+            raise SemanticError(
+                f"line {decl.line}: the entry function cannot be an isr")
+        vector = ISR_SOURCES[decl.isr_source]
+        if vector in module.isrs:
+            raise SemanticError(
+                f"line {decl.line}: duplicate handler for interrupt source "
+                f"{decl.isr_source!r}"
+            )
+        module.isrs[vector] = decl.name
+        module.uses_periph = True
+
     for decl in func_decls.values():
         for i in range(len(decl.params)):
             module.add_global(f"__arg_{decl.name}_{i}", 1)
@@ -429,8 +464,16 @@ class _FunctionLowerer:
     def _lower_call(self, expr: ast.Call) -> Union[VReg, Imm]:
         decl = self._func_decls.get(expr.name)
         if decl is None:
+            lowered = self._lower_intrinsic(expr)
+            if lowered is not None:
+                return lowered
             raise SemanticError(f"line {expr.line}: call to undefined "
                                 f"function {expr.name!r}")
+        if decl.isr_source is not None:
+            raise SemanticError(
+                f"line {expr.line}: isr handler {expr.name!r} cannot be "
+                f"called directly"
+            )
         if len(expr.args) != len(decl.params):
             raise SemanticError(
                 f"line {expr.line}: {expr.name}() takes {len(decl.params)} "
@@ -445,6 +488,119 @@ class _FunctionLowerer:
             self._emit(ins.load(reg, Sym(f"__ret_{expr.name}"), Imm(0)))
             return reg
         return Imm(0)  # a void call used as a value is harmlessly zero
+
+    # -- peripheral MMIO intrinsics ------------------------------------
+    def _periph_load(self, sym: str,
+                     off: Union[VReg, Imm] = Imm(0)) -> VReg:
+        reg = self._fn.new_vreg()
+        self._emit(ins.load(reg, Sym(sym), off))
+        return reg
+
+    def _periph_store(self, sym: str, value: Union[VReg, Imm],
+                      off: Union[VReg, Imm] = Imm(0)) -> None:
+        self._emit(ins.store(self._as_reg(value), Sym(sym), off))
+
+    def _periph_store_imm(self, sym: str, value: int) -> None:
+        reg = self._fn.new_vreg()
+        self._emit(ins.li(reg, value))
+        self._emit(ins.store(reg, Sym(sym), Imm(0)))
+
+    def _device_start(self, prefix: str, period: Union[VReg, Imm]) -> None:
+        # ctrl is written 0 first so no spurious re-arm happens between
+        # the configuration stores; base = 0 re-arms at the next boundary.
+        self._periph_store_imm(f"{prefix}_ctrl", 0)
+        self._periph_store(f"{prefix}_period", period)
+        self._periph_store_imm(f"{prefix}_count", 0)
+        self._periph_store_imm(f"{prefix}_base", 0)
+        self._periph_store_imm(f"{prefix}_ctrl", 1)
+
+    def _device_stop(self, prefix: str) -> None:
+        self._periph_store_imm(f"{prefix}_ctrl", 0)
+        self._periph_store_imm(f"{prefix}_base", 0)
+
+    def _lower_intrinsic(self, expr: ast.Call) -> Optional[Union[VReg, Imm]]:
+        """Lower a peripheral intrinsic, or return None if ``expr`` isn't
+        one.  Intrinsics are plain loads/stores/ALU on the MMIO control
+        block (:data:`repro.isa.program.PERIPH_SYMBOLS`) — no new opcodes."""
+        name = expr.name
+        arity = _PERIPH_INTRINSICS.get(name)
+        if arity is None:
+            return None
+        if len(expr.args) != arity:
+            raise SemanticError(
+                f"line {expr.line}: {name}() takes {arity} "
+                f"argument{'s' if arity != 1 else ''}, got {len(expr.args)}"
+            )
+        self._module.uses_periph = True
+        args = [self._lower_expr(arg) for arg in expr.args]
+        if name == "irq_enable" or name == "irq_disable":
+            cur = self._periph_load("__irq_en")
+            out = self._fn.new_vreg()
+            if name == "irq_enable":
+                self._emit(ins.binop(Opcode.OR, out, cur, args[0]))
+            else:
+                mask = args[0]
+                if isinstance(mask, Imm):
+                    inverted: Union[VReg, Imm] = Imm(wrap32(~mask.value))
+                else:
+                    inverted = self._fn.new_vreg()
+                    self._emit(Instr(Opcode.NOT, dst=inverted, a=mask))
+                self._emit(ins.binop(Opcode.AND, out, cur, inverted))
+            self._periph_store("__irq_en", out)
+            return Imm(0)
+        if name == "irq_pending":
+            return self._periph_load("__irq_pend")
+        if name == "irq_priority":
+            self._periph_store("__irq_prio", args[1], off=args[0])
+            return Imm(0)
+        if name == "irq_nest":
+            self._periph_store("__irq_nest", args[0])
+            return Imm(0)
+        if name == "timer_start":
+            self._device_start("__t0", args[0])
+            return Imm(0)
+        if name == "timer_stop":
+            self._device_stop("__t0")
+            return Imm(0)
+        if name == "timer_count":
+            return self._periph_load("__t0_count")
+        if name == "adc_start":
+            self._device_start("__adc", args[0])
+            return Imm(0)
+        if name == "adc_stop":
+            self._device_stop("__adc")
+            return Imm(0)
+        if name == "adc_read":
+            return self._periph_load("__adc_data")
+        if name == "adc_count":
+            return self._periph_load("__adc_count")
+        if name == "gpio_watch":
+            self._device_start("__gpio", args[0])
+            return Imm(0)
+        if name == "gpio_stop":
+            self._device_stop("__gpio")
+            return Imm(0)
+        if name == "gpio_read":
+            return self._periph_load("__gpio_in")
+        if name == "gpio_write":
+            self._periph_store("__gpio_out", args[0])
+            return Imm(0)
+        if name == "dma_start":
+            self._periph_store_imm("__dma_ctrl", 0)
+            self._periph_store("__dma_len", args[0])
+            self._periph_store("__dma_rate", args[1])
+            self._periph_store_imm("__dma_xfrd", 0)
+            self._periph_store_imm("__dma_done", 0)
+            self._periph_store_imm("__dma_base", 0)
+            self._periph_store_imm("__dma_ctrl", 1)
+            return Imm(0)
+        if name == "dma_done":
+            return self._periph_load("__dma_done")
+        if name == "dma_get":
+            return self._periph_load("__dma_buf", off=args[0])
+        raise SemanticError(
+            f"line {expr.line}: unimplemented intrinsic {name!r}"
+        )  # pragma: no cover - table and dispatch kept in sync
 
 
 def _fold_binary(op: str, a: int, b: int, line: int) -> Optional[int]:

@@ -2,10 +2,11 @@
 
 Grammar (EBNF, ``//`` and ``/* */`` comments allowed anywhere)::
 
-    program     := (global_decl | func_decl)*
+    program     := (global_decl | func_decl | isr_decl)*
     global_decl := 'int' IDENT ('[' NUM ']')? ('=' init)? ';'
     init        := NUM | '{' NUM (',' NUM)* '}'
     func_decl   := ('int' | 'void') IDENT '(' params? ')' block
+    isr_decl    := 'isr' IDENT IDENT '(' ')' block   // source, handler
     params      := 'int' IDENT (',' 'int' IDENT)*
     block       := '{' stmt* '}'
     stmt        := var_decl | assign | if | while | for | return
@@ -84,6 +85,9 @@ class Parser:
     def parse_program(self) -> ast.ProgramAst:
         program = ast.ProgramAst()
         while not self._check("eof"):
+            if self._check("isr"):
+                program.functions.append(self._isr_decl())
+                continue
             is_void = self._check("void")
             if not is_void and not self._check("int"):
                 raise ParseError(
@@ -102,6 +106,18 @@ class Parser:
                                      name.line, name.col)
                 program.globals.append(self._global_rest(name.text, name.line))
         return program
+
+    def _isr_decl(self) -> ast.FuncDecl:
+        """``isr <source> <name> () { ... }`` — a void, no-arg handler."""
+        keyword = self._advance()
+        source = self._expect("ident")
+        name = self._expect("ident")
+        decl = self._func_rest(name.text, False, name.line)
+        if decl.params:
+            raise ParseError("isr handlers take no parameters",
+                             keyword.line, keyword.col)
+        decl.isr_source = source.text
+        return decl
 
     def _global_rest(self, name: str, line: int) -> ast.GlobalDecl:
         size: Optional[int] = None

@@ -174,11 +174,21 @@ class Machine:
         self._fault_hook = None
         self._obs = None
         self._prof = None
+        # Peripheral hub: auto-attached for programs linked with the
+        # peripheral control block (lazy import avoids a cycle).  The hub
+        # is stateless configuration — all controller/device state lives
+        # in NVM words — so a fresh hub on restored memory is exact.
+        self._periph = None
+        if "__isr_sp" in program.symtab:
+            from ..periph.hub import PeriphHub
+
+            self._periph = PeriphHub(program)
 
     # ------------------------------------------------------------------
     # Hook registration.
     # ------------------------------------------------------------------
-    def attach(self, fault_hook=_UNSET, obs=_UNSET, profiler=_UNSET) -> None:
+    def attach(self, fault_hook=_UNSET, obs=_UNSET, profiler=_UNSET,
+               periph=_UNSET) -> None:
         """Register (or detach, by passing ``None``) execution hooks.
 
         This is the one supported way to wire monitors into a machine;
@@ -199,6 +209,10 @@ class Machine:
                 commits become bus events.
             profiler: the pre-resolved cycle profiler (or ``None``);
                 usually ``maybe(obs.profiler)``.
+            periph: a :class:`~repro.periph.hub.PeriphHub` whose
+                ``on_boundary(machine)`` runs after every instruction
+                (interpreter) or block (threaded backend).  Programs
+                linked with peripheral support auto-attach one.
         """
         if fault_hook is not _UNSET:
             self._fault_hook = fault_hook
@@ -206,6 +220,8 @@ class Machine:
             self._obs = obs
         if profiler is not _UNSET:
             self._prof = profiler
+        if periph is not _UNSET:
+            self._periph = periph
 
     @property
     def fault_hook(self):
@@ -372,6 +388,8 @@ class Machine:
             self.instr_count += 1
             if self._prof is not None:
                 self._prof.add_cycles(OPCODE_CLASSES[instr.op], cost)
+            if self._periph is not None:
+                self._periph.on_boundary(self)
             return cost
         instr = self.program.instrs[self.pc]
         target = self.program.targets[self.pc]
@@ -475,6 +493,8 @@ class Machine:
         self.instr_count += 1
         if self._prof is not None:
             self._prof.add_cycles(OPCODE_CLASSES[op], cost)
+        if self._periph is not None:
+            self._periph.on_boundary(self)
         return cost
 
     def _commit_region(self, instr: Instr) -> None:

@@ -38,6 +38,13 @@ and the CI cross-check):
   ``fired`` attribute, or an attached profiler (whose per-opcode cycle
   attribution is inherently per-instruction), pins the whole slice to
   the reference path.
+* **Peripherals** — for programs linked with the :mod:`repro.periph`
+  control block, a store to peripheral MMIO ends its block, the hub's
+  boundary hook runs after every block, and a block whose cycle span
+  contains a device event is demoted to exact single-stepping
+  (:meth:`~repro.periph.hub.PeriphHub.event_before`) — interrupt
+  delivery, handler returns, device fires, and stale-frame healing all
+  land on the interpreter's exact instruction boundaries.
 * **Interruptible points** — ``MARK`` region commits and ``SENSE``
   reads call out of the block (observability bus, user sensor streams),
   so generated code synchronizes ``pc``/``cycles``/``instr_count``
@@ -68,7 +75,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import MachineFault, SimulationError
 from ..isa.instructions import BLOCK_ENDERS, Instr, Opcode
 from ..isa.operands import Imm, PReg, trunc_div, trunc_rem
-from ..isa.program import LinkedProgram
+from ..isa.program import PERIPH_CONTROL_SYMBOLS, LinkedProgram
 from .machine import Machine
 
 #: Maximum instructions per compiled block.  Bounded so that the
@@ -188,6 +195,14 @@ class _BlockCompiler:
             self.pending_count += 1
             self.count += 1
             if instr.op in BLOCK_ENDERS:
+                break
+            if (instr.op is Opcode.ST and instr.sym is not None
+                    and instr.sym.name in PERIPH_CONTROL_SYMBOLS):
+                # A store to peripheral MMIO can re-arm a device or
+                # unmask an interrupt: end the block so the hub sees the
+                # same boundary the interpreter does.
+                self.emit(f"m.pc = {pc + 1}")
+                pc += 1
                 break
             pc += 1
             if (pc >= len(instrs) or pc in self.leaders
@@ -420,6 +435,7 @@ class ThreadedBackend:
             leaders = cache.leaders
             program = machine.program
             size = len(program.instrs)
+            hub = machine._periph
             executed = 0
             while executed < budget:
                 if machine.halted or not machine.powered:
@@ -443,8 +459,18 @@ class ThreadedBackend:
                     machine.step()
                     executed += 1
                     continue
+                if hub is not None and hub.event_before(machine,
+                                                        block.cycles):
+                    # A device fire, delivery, handler return, or heal
+                    # falls inside this block's cycle span: single-step
+                    # so it lands at the interpreter's exact boundary.
+                    machine.step()
+                    executed += 1
+                    continue
                 block.fn(machine, machine.regs, machine.mem, machine.wear)
                 executed += block.n
+                if hub is not None:
+                    hub.on_boundary(machine)
             return machine.cycles - cycles_start, None
         except (MachineFault, SimulationError) as exc:
             return machine.cycles - cycles_start, exc

@@ -1,12 +1,21 @@
-"""The eleven MiniC benchmark applications from the paper's evaluation.
+"""The bundled MiniC applications: batch kernels and reactive firmware.
 
-``source(name)`` returns MiniC text for any of :data:`WORKLOAD_NAMES`;
-``expected_output(name)`` returns the known-good committed output, either
-from a Python reference implementation or (for purely synthetic kernels)
-by running the NVP-compiled program on stable power once and caching it.
+Two families share one declarative :data:`REGISTRY`:
+
+* **kernels** — the eleven batch benchmarks from the paper's evaluation
+  (:data:`WORKLOAD_NAMES`, unchanged);
+* **reactive** — interrupt-driven firmware built on :mod:`repro.periph`
+  (:data:`REACTIVE_WORKLOADS`): the glucose monitor the paper motivates
+  with, plus GPIO/DMA and nested-priority companions.
+
+``source(name)`` and ``expected_output(name)`` resolve any registered
+name; ``expected_output`` returns the Python reference when the module
+ships one, else the committed output of one stable-power NVP run.
 """
 
+from dataclasses import dataclass
 from functools import lru_cache
+from types import ModuleType
 from typing import Dict, List, Optional
 
 from . import (
@@ -19,44 +28,93 @@ from . import (
     dijkstra,
     fft,
     fir,
+    glucose,
+    heartbeat,
+    motionlog,
     qsort,
     stringsearch,
 )
 
-_MODULES = {
-    "basicmath": basicmath,
-    "bitcnt": bitcnt,
-    "blink": blink,
-    "crc16": crc16,
-    "crc32": crc32,
-    "dhrystone": dhrystone,
-    "dijkstra": dijkstra,
-    "fft": fft,
-    "fir": fir,
-    "qsort": qsort,
-    "stringsearch": stringsearch,
+#: A workload family: batch kernel or interrupt-driven reactive firmware.
+KERNEL = "kernel"
+REACTIVE = "reactive"
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One registered application: its source module plus catalog facts."""
+
+    name: str
+    kind: str
+    module: ModuleType
+
+    @property
+    def source(self) -> str:
+        return self.module.SOURCE
+
+    @property
+    def blurb(self) -> str:
+        """First docstring line, past the ``name:`` prefix."""
+        doc = (self.module.__doc__ or "").strip().splitlines()
+        line = doc[0] if doc else ""
+        prefix = f"{self.name}:"
+        return line[len(prefix):].strip() if line.startswith(prefix) \
+            else line
+
+
+def _entry(module: ModuleType, kind: str) -> WorkloadEntry:
+    name = module.__name__.rsplit(".", 1)[-1]
+    return WorkloadEntry(name=name, kind=kind, module=module)
+
+
+#: Every bundled application, declaratively: name -> entry.
+REGISTRY: Dict[str, WorkloadEntry] = {
+    entry.name: entry
+    for entry in (
+        _entry(basicmath, KERNEL),
+        _entry(bitcnt, KERNEL),
+        _entry(blink, KERNEL),
+        _entry(crc16, KERNEL),
+        _entry(crc32, KERNEL),
+        _entry(dhrystone, KERNEL),
+        _entry(dijkstra, KERNEL),
+        _entry(fft, KERNEL),
+        _entry(fir, KERNEL),
+        _entry(qsort, KERNEL),
+        _entry(stringsearch, KERNEL),
+        _entry(glucose, REACTIVE),
+        _entry(heartbeat, REACTIVE),
+        _entry(motionlog, REACTIVE),
+    )
 }
 
-#: Benchmark names in the paper's (alphabetical) order.
-WORKLOAD_NAMES: List[str] = list(_MODULES)
+#: The paper's benchmark names in their (alphabetical) order.
+WORKLOAD_NAMES: List[str] = [
+    name for name, entry in REGISTRY.items() if entry.kind == KERNEL
+]
+
+#: The interrupt-driven reactive suite (:mod:`repro.periph`).
+REACTIVE_WORKLOADS: List[str] = [
+    name for name, entry in REGISTRY.items() if entry.kind == REACTIVE
+]
 
 #: A small subset for quick experiments and fast test runs.
 FAST_WORKLOADS: List[str] = ["blink", "crc16", "bitcnt", "fir"]
 
 
 def source(name: str) -> str:
-    """MiniC source text of a workload."""
+    """MiniC source text of any registered workload."""
     try:
-        return _MODULES[name].SOURCE
+        return REGISTRY[name].source
     except KeyError:
         raise KeyError(
-            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+            f"unknown workload {name!r}; choose from {sorted(REGISTRY)}"
         ) from None
 
 
 def reference_output(name: str) -> Optional[List[int]]:
     """The Python-computed expected output, when the workload has one."""
-    return getattr(_MODULES[name], "EXPECTED", None)
+    return getattr(REGISTRY[name].module, "EXPECTED", None)
 
 
 @lru_cache(maxsize=None)
@@ -73,11 +131,12 @@ def expected_output(name: str) -> List[int]:
 
 
 def all_sources() -> Dict[str, str]:
-    """name -> MiniC source for every workload."""
+    """name -> MiniC source for every paper benchmark."""
     return {name: source(name) for name in WORKLOAD_NAMES}
 
 
 __all__ = [
-    "FAST_WORKLOADS", "WORKLOAD_NAMES", "all_sources", "expected_output",
-    "reference_output", "source",
+    "FAST_WORKLOADS", "KERNEL", "REACTIVE", "REACTIVE_WORKLOADS",
+    "REGISTRY", "WORKLOAD_NAMES", "WorkloadEntry", "all_sources",
+    "expected_output", "reference_output", "source",
 ]

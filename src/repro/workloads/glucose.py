@@ -1,0 +1,55 @@
+"""glucose: the paper's continuous glucose monitor, as reactive firmware.
+
+The motivating application (§II): a sensor ADC interrupt samples the
+glucose channel on a fixed period, the handler logs each raw reading
+keyed by the device's own sample counter, and the main line — once a full
+measurement window is banked — runs the EWMA filter, classifies hypo/
+hyper excursions, and transmits the filtered series.
+
+The handler is *idempotent by construction*: every write is keyed by
+``adc_count()``, so the at-least-once re-delivery a power failure inside
+the handler forces simply re-lands the same words.  The committed output
+is a pure function of the first 24 samples, invariant under any power
+schedule, checkpoint scheme, or execution backend.
+"""
+
+SOURCE = """
+// glucose: sense -> filter -> log -> transmit (sensor-ADC reactive loop).
+int raw[24];
+int samples = 0;
+
+isr adc on_sample() {
+    // Count-keyed logging: re-delivery after a mid-handler power failure
+    // rewrites the same slot with the same value.
+    int k = adc_count();
+    if (k <= 24) {
+        raw[k - 1] = adc_read();
+        samples = k;
+    }
+}
+
+int ewma(int level, int sample) {
+    // alpha = 1/4 exponential moving average, integer form.
+    return (level * 3 + sample) / 4;
+}
+
+void main() {
+    irq_enable(2);            // vector 1: sensor ADC
+    adc_start(90);            // one conversion every 90 cycles
+    while (samples < 24) bound(20000) { }
+    adc_stop();
+    irq_disable(2);
+
+    int level = raw[0];
+    int hypo = 0;
+    int hyper = 0;
+    for (int i = 0; i < 24; i = i + 1) {
+        level = ewma(level, raw[i]);
+        if (level < 200) { hypo = hypo + 1; }
+        if (level > 800) { hyper = hyper + 1; }
+        out(level);           // transmit the filtered series
+    }
+    out(hypo);
+    out(hyper);
+}
+"""

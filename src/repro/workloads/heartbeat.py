@@ -1,0 +1,52 @@
+"""heartbeat: nested interrupts — a paced beat over a free-running ADC.
+
+A timer interrupt paces eight "heartbeats"; each beat handler reads the
+*latest* free-running ADC conversion and logs a beat record.  The timer
+runs at higher priority with nesting enabled, so a beat preempts the ADC
+handler when the two collide — the priority/nesting path of the
+interrupt controller under real load.
+
+The beat log is keyed by ``timer_count()`` (idempotent), but each record
+captures whatever conversion is newest at delivery time, so the values —
+unlike :mod:`~repro.workloads.glucose` — depend on the interleaving the
+scheme's instrumentation produces: deterministic per scheme and backend,
+different across schemes.
+"""
+
+SOURCE = """
+// heartbeat: priority-nested timer + adc reactive pacing.
+int bpm[8];
+int beats = 0;
+int activity = 0;
+
+isr timer on_beat() {
+    int b = timer_count();
+    if (b <= 8) {
+        bpm[b - 1] = 60 + (adc_read() & 31);
+        beats = b;
+    }
+}
+
+isr adc on_sample() {
+    // Low-priority background activity the beat handler may preempt.
+    activity = activity + (adc_read() & 3);
+}
+
+void main() {
+    irq_priority(0, 3);       // timer beats...
+    irq_priority(1, 1);       // ...preempt adc sampling
+    irq_nest(1);
+    irq_enable(1 + 2);
+    adc_start(25);            // free-running conversions
+    timer_start(160);         // one beat every 160 cycles
+    while (beats < 8) bound(60000) { }
+    timer_stop();
+    adc_stop();
+    irq_disable(3);
+
+    for (int i = 0; i < 8; i = i + 1) {
+        out(bpm[i]);
+    }
+    out(beats);
+}
+"""

@@ -1,0 +1,51 @@
+"""motionlog: GPIO edge events plus a DMA frame transfer.
+
+A motion detector on a GPIO pin wakes the firmware on every edge while a
+DMA engine streams one 16-word acquisition frame in the background; the
+DMA-complete handler folds the frame into a checksum.  Main waits for six
+edges and the finished frame, then transmits the edge log and signature.
+
+The DMA handler is idempotent (the checksum is recomputed from the same
+frame words); the GPIO handler indexes its log with a software counter,
+so a power failure inside it *can* skew the log — the handler-resident
+fault surface :mod:`repro.periph.attack` targets.
+"""
+
+SOURCE = """
+// motionlog: gpio edge counting + dma frame checksum.
+int evlog[6];
+int edges = 0;
+int sig = 0;
+
+isr gpio on_motion() {
+    int e = edges;
+    if (e < 6) {
+        evlog[e] = gpio_read() + e * 2;
+    }
+    edges = e + 1;
+}
+
+isr dma on_frame() {
+    int acc = 7;
+    for (int i = 0; i < 16; i = i + 1) {
+        acc = (acc ^ dma_get(i)) + i;
+    }
+    sig = acc & 65535;
+}
+
+void main() {
+    irq_enable(4 + 8);        // vectors 2 (gpio) and 3 (dma)
+    dma_start(16, 35);        // one 16-word frame, a word every 35 cycles
+    gpio_watch(55);           // sample the pin every 55 cycles
+    while (edges < 6) bound(40000) { }
+    while (dma_done() == 0) bound(40000) { }
+    gpio_stop();
+    irq_disable(4 + 8);
+
+    for (int i = 0; i < 6; i = i + 1) {
+        out(evlog[i]);
+    }
+    out(sig);
+    out(dma_done());
+}
+"""

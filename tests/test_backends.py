@@ -41,7 +41,12 @@ from repro.runtime import (
     backend_for,
 )
 from repro.runtime.threaded import compile_block
-from repro.workloads import WORKLOAD_NAMES, expected_output, source
+from repro.workloads import (
+    REACTIVE_WORKLOADS,
+    WORKLOAD_NAMES,
+    expected_output,
+    source,
+)
 
 SCHEMES = ("nvp", "gecko")
 
@@ -414,3 +419,112 @@ class TestAttachAPI:
         gecko = GeckoRuntime(compiled.linked)
         gecko.attach(fault_hook=hook)
         assert gecko.fault_hook is hook
+
+
+# ----------------------------------------------------------------------
+# Interrupt load: the reactive suite must be backend-indistinguishable.
+# ----------------------------------------------------------------------
+class TestInterruptDifferential:
+    """Block-boundary delivery makes the threaded backend's interrupt
+    timing *exactly* the interpreter's — under stable power, intermittent
+    campaigns, mid-block resume with pending interrupts, and EMI bursts
+    phase-locked to interrupt arrival."""
+
+    @staticmethod
+    def _full_state(machine):
+        return (list(machine.mem), list(machine.regs), machine.pc,
+                machine.halted, machine.cycles, machine.instr_count,
+                list(machine.committed_out),
+                [(s.vector, s.entry_step, s.exit_step)
+                 for s in machine._periph.trace])
+
+    @pytest.mark.parametrize("workload", REACTIVE_WORKLOADS)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_stable_power_state_identical(self, workload, scheme):
+        from repro.core import compile_scheme
+
+        linked = compile_scheme(source(workload), scheme).linked
+        states = []
+        for backend in BACKEND_NAMES:
+            machine = Machine(linked)
+            machine.run(max_steps=3_000_000, backend=backend)
+            states.append(self._full_state(machine))
+        assert states[0] == states[1], f"{workload}/{scheme}"
+
+    @pytest.mark.parametrize("workload", REACTIVE_WORKLOADS)
+    def test_campaign_fingerprint_identical(self, workload):
+        """The CI contract, restated over the reactive suite."""
+        for scheme in SCHEMES:
+            fingerprints = {}
+            for backend in BACKEND_NAMES:
+                spec = ExperimentSpec(
+                    name=f"reactive-fp:{workload}:{scheme}",
+                    victim=fault_victim(workload=workload, scheme=scheme,
+                                        duration_s=0.02),
+                    attack=AttackSpec.silent(),
+                    path=PathSpec.remote(),
+                    baseline=True,
+                    telemetry=True,
+                    backend=backend,
+                )
+                fingerprints[backend] = \
+                    _RUNNER.run(spec).metrics_fingerprint()
+            assert fingerprints["interpreter"] == fingerprints["threaded"], \
+                f"{workload}/{scheme}"
+
+    def test_mid_block_resume_with_pending_irq(self):
+        """A snapshot cut mid-block while an interrupt is pending (masked
+        by a higher-priority live handler) resumes identically: the
+        threaded backend must single-step the suffix AND deliver the
+        pending vector at the same boundary the interpreter does."""
+        from repro.core import compile_scheme
+
+        linked = compile_scheme(source("heartbeat"), "nvp").linked
+        leaders = linked.block_leaders()
+        probe = Machine(linked)
+        cut = None
+        while not probe.halted:
+            probe.step()
+            if probe.read_word("__irq_pend") != 0 \
+                    and probe.pc not in leaders:
+                cut = probe.snapshot()
+                break
+        assert cut is not None, "never saw a pending IRQ mid-block"
+
+        resumed = []
+        for backend in BACKEND_NAMES:
+            machine = Machine(linked)
+            machine.restore(cut)
+            machine.run(max_steps=3_000_000, backend=backend)
+            resumed.append(self._full_state(machine))
+        assert resumed[0] == resumed[1]
+
+    def test_phase_locked_attack_fingerprint_identical(self):
+        """ISR-phase-locked EMI bursts (the repro.adversary.isrspace
+        axis) classify identically under both backends."""
+        from repro.adversary import isr_attack_space
+
+        for scheme in SCHEMES:
+            victim = fault_victim(workload="glucose", scheme=scheme,
+                                  duration_s=0.02)
+            compiled = _RUNNER.compile_cache.get(victim.compile_key())
+            if compiled is None:
+                compiled = victim.compile()
+                _RUNNER.compile_cache[victim.compile_key()] = compiled
+            candidate = isr_attack_space(
+                compiled.linked, duration_s=0.02).aggressive(27.0)
+            fingerprints = {}
+            for backend in BACKEND_NAMES:
+                spec = ExperimentSpec(
+                    name=f"isr-phase:{scheme}",
+                    victim=victim,
+                    attack=candidate.attack_spec(),
+                    path=candidate.path_spec(),
+                    baseline=True,
+                    telemetry=True,
+                    backend=backend,
+                )
+                fingerprints[backend] = \
+                    _RUNNER.run(spec).metrics_fingerprint()
+            assert fingerprints["interpreter"] == fingerprints["threaded"], \
+                scheme
