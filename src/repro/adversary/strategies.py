@@ -24,10 +24,10 @@ what the serial == parallel fingerprint guarantee rests on.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Type
 
+from ..seeds import spawn_rng
 from .space import AdversaryError, AttackCandidate, AttackSpace
 
 
@@ -57,7 +57,10 @@ class SearchStrategy:
         self.space = space
         self.budget = budget
         self.batch = batch
-        self.rng = random.Random(seed)
+        # Spawned per strategy name: two strategies sharing one root
+        # seed (a portfolio search) draw uncorrelated streams instead of
+        # replaying each other's candidates.
+        self.rng = spawn_rng(seed, "adversary", "strategy", self.name)
         self.asked = 0
 
     @property

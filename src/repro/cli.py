@@ -722,6 +722,127 @@ def cmd_store_gc(args) -> int:
     return 0
 
 
+def cmd_torture_run(args) -> int:
+    import json as json_mod
+
+    from .torture import TortureCorpus, TortureSpec, run_campaign
+
+    spec = TortureSpec(
+        workload=args.workload, scheme=args.scheme, seed=args.seed,
+        cases=args.cases, events_min=args.events_min,
+        events_max=args.events_max, backend=args.backend,
+        check_backends=not args.no_cross_check,
+        region_budget=args.region_budget, max_steps=args.max_steps,
+        shrink=not args.no_shrink, shrink_budget=args.shrink_budget)
+    report = run_campaign(spec, workers=args.workers)
+    summary = report.summary()
+    print(f"{spec.workload}/{spec.scheme}: {summary['cases']} cases, "
+          f"{summary['violations']} violations, "
+          f"{summary['errors']} errors")
+    for oracle, count in summary["oracles"].items():
+        print(f"  {oracle}: {count}")
+    print(f"fingerprint: {summary['fingerprint']}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_mod.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"summary written to {args.json}")
+    if report.repro_cases:
+        if args.corpus:
+            corpus = TortureCorpus.open(args.corpus)
+            fresh = 0
+            for case in report.repro_cases:
+                digest, was_new = corpus.add(case)
+                fresh += was_new
+                mark = "new" if was_new else "dup"
+                print(f"  {mark}  {digest}  {case.oracle}  "
+                      f"{len(case.events)} events")
+            print(f"corpus {args.corpus}: +{fresh} new "
+                  f"({len(corpus)} total)")
+        else:
+            for case in report.repro_cases:
+                print(f"  repro {case.digest}  {case.oracle}  "
+                      f"{len(case.events)} events  (use --corpus to keep)")
+    return 1 if report.violations or report.errors else 0
+
+
+def _open_corpus(args):
+    from .torture import TortureCorpus
+
+    if not os.path.isdir(args.corpus):
+        raise SystemExit(f"error: {args.corpus!r} is not a corpus "
+                         f"directory (create one with 'torture run "
+                         f"--corpus')")
+    return TortureCorpus.open(args.corpus)
+
+
+def _corpus_cases(corpus, digest: Optional[str]):
+    if digest is None:
+        cases = list(corpus.cases())
+        if not cases:
+            raise SystemExit("error: corpus is empty")
+        return cases
+    case = corpus.get(digest)
+    if case is None:
+        raise SystemExit(f"error: no corpus case {digest!r}")
+    return [(digest, case)]
+
+
+def cmd_torture_replay(args) -> int:
+    corpus = _open_corpus(args)
+    backends = tuple(args.backends.split(",")) if args.backends else None
+    failures = 0
+    for digest, case in _corpus_cases(corpus, args.digest):
+        results = corpus.replay(case, backends=backends,
+                                max_steps=args.max_steps)
+        for result in results:
+            verdict = "ok" if result.ok else \
+                ("NOT-REPRODUCED" if not result.reproduced
+                 else "FINGERPRINT-DRIFT")
+            failures += not result.ok
+            print(f"{digest}  {result.backend:<11}  {case.oracle:<19} "
+                  f"{verdict}")
+            if verdict == "FINGERPRINT-DRIFT":
+                print(f"    recorded {result.recorded}")
+                print(f"    replayed {result.fingerprint}")
+    print(f"{failures} failures" if failures else "all cases reproduced")
+    return 1 if failures else 0
+
+
+def cmd_torture_shrink(args) -> int:
+    from .torture import ReproCase, record_fingerprints, shrink_schedule
+
+    corpus = _open_corpus(args)
+    for digest, case in _corpus_cases(corpus, args.digest):
+        result = shrink_schedule(case.target(), case.schedule(),
+                                 case.oracle, backend=case.backend,
+                                 run_budget=args.budget)
+        before, after = len(case.events), result.events
+        print(f"{digest}: {before} -> {after} events "
+              f"({result.runs} runs, "
+              f"{'minimal' if result.minimal else 'budget exhausted'})")
+        if after < before:
+            data = case.to_dict()
+            data["events"] = result.schedule.to_dicts()
+            smaller = record_fingerprints(ReproCase.from_dict(data))
+            new_digest, was_new = corpus.add(smaller)
+            if was_new:
+                print(f"  stored smaller case {new_digest}")
+    return 0
+
+
+def cmd_torture_corpus(args) -> int:
+    corpus = _open_corpus(args)
+    shown = 0
+    for digest, case in corpus.cases():
+        print(f"{digest}  {case.workload:<10} {case.scheme:<14} "
+              f"{case.oracle:<19} {len(case.events)} events")
+        if args.verbose and case.detail:
+            print(f"    {case.detail}")
+        shown += 1
+    print(f"({shown} cases)" if shown else "(empty corpus)")
+    return 0
+
+
 def cmd_store_import(args) -> int:
     from .store import ResultStore
 
@@ -980,6 +1101,65 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--name", default=None,
                    help="campaign name to record in entry metadata")
     q.set_defaults(func=cmd_store_import)
+
+    p = sub.add_parser("torture",
+                       help="adversarial crash-consistency fuzzing")
+    torture_sub = p.add_subparsers(dest="torture_op", required=True)
+
+    q = torture_sub.add_parser("run", help="run a seeded fuzz campaign")
+    q.add_argument("workload", help="bundled workload name")
+    q.add_argument("--scheme", default="gecko-jit",
+                   choices=["gecko-jit", "gecko-rollback", "nvp",
+                            "ratchet"])
+    _add_seed_arg(q)
+    q.add_argument("--cases", type=int, default=50,
+                   help="schedules to generate and run")
+    q.add_argument("--events-min", type=int, default=2)
+    q.add_argument("--events-max", type=int, default=10)
+    _add_backend_arg(q)
+    q.add_argument("--no-cross-check", action="store_true",
+                   help="skip the backend_equivalence mirror run")
+    q.add_argument("--region-budget", type=int, default=None,
+                   help="gecko region budget (instructions)")
+    q.add_argument("--max-steps", type=int, default=None,
+                   help="per-case step watchdog override")
+    q.add_argument("--no-shrink", action="store_true",
+                   help="report violations without minimizing them")
+    q.add_argument("--shrink-budget", type=int, default=300,
+                   help="schedule re-runs allowed per shrink")
+    q.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the case fan-out")
+    q.add_argument("--corpus", default=None, metavar="DIR",
+                   help="persist shrunk repro cases in this corpus")
+    q.add_argument("--json", default=None, metavar="PATH",
+                   help="write the campaign summary JSON here")
+    q.set_defaults(func=cmd_torture_run)
+
+    q = torture_sub.add_parser("replay",
+                               help="replay corpus cases bit-identically")
+    q.add_argument("corpus", help="corpus directory")
+    q.add_argument("digest", nargs="?", default=None,
+                   help="one case digest (default: every case)")
+    q.add_argument("--backends", default=None, metavar="B1,B2",
+                   help="backends to replay on (default: the recorded "
+                        "ones)")
+    q.add_argument("--max-steps", type=int, default=None)
+    q.set_defaults(func=cmd_torture_replay)
+
+    q = torture_sub.add_parser("shrink",
+                               help="re-minimize stored cases")
+    q.add_argument("corpus", help="corpus directory")
+    q.add_argument("digest", nargs="?", default=None,
+                   help="one case digest (default: every case)")
+    q.add_argument("--budget", type=int, default=300,
+                   help="schedule re-runs allowed per case")
+    q.set_defaults(func=cmd_torture_shrink)
+
+    q = torture_sub.add_parser("corpus", help="list corpus cases")
+    q.add_argument("corpus", help="corpus directory")
+    q.add_argument("-v", "--verbose", action="store_true",
+                   help="also print each case's violation detail")
+    q.set_defaults(func=cmd_torture_corpus)
     return parser
 
 

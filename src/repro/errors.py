@@ -61,3 +61,13 @@ class SimulationError(ReproError):
 
 class MachineFault(ReproError):
     """The machine interpreter trapped (bad address, div by zero, bad PC)."""
+
+
+class InvariantViolation(ReproError):
+    """A torture-run invariant oracle failed.
+
+    Raised by strict replay (:func:`repro.torture.engine.run_schedule`
+    with ``strict=True``).  :mod:`repro.eval.resilient` classifies it as
+    its own non-retryable ``invariant_violation`` error kind: retrying a
+    deterministic oracle failure can only mask the finding.
+    """

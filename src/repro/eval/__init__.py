@@ -24,6 +24,7 @@ from .resilient import (
     BUDGET_EXCEEDED,
     ChaosSpec,
     ERROR_KINDS,
+    INVARIANT_VIOLATION,
     ResilienceError,
     ResilientExecutor,
     RETRIED_OK,
@@ -73,6 +74,7 @@ __all__ = [
     "CampaignError", "CampaignResult", "CampaignRunner", "CampaignStats",
     "CapacitorPoint", "ChaosSpec", "CountermeasureEntry", "DEFAULT_SEGMENTS",
     "DetectionRun", "DistancePoint", "ERROR_KINDS", "ExperimentSpec",
+    "INVARIANT_VIOLATION",
     "HarvestingRow", "OverheadRow", "PathSpec", "PruningRow", "RETRIED_OK",
     "ResilienceError", "ResilientExecutor", "RetryPolicy", "RunJournal",
     "RunOutcome", "RunSpec", "SCENARIOS", "SCHEMES", "SIM_ERROR", "Segment",

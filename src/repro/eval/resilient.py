@@ -57,7 +57,7 @@ from typing import (
     Tuple,
 )
 
-from ..errors import ReproError
+from ..errors import InvariantViolation, ReproError
 from ..store.digest import task_digest
 
 
@@ -74,14 +74,18 @@ TIMEOUT = "timeout"
 WORKER_CRASH = "worker_crash"
 #: The run itself raised (simulation error, bad spec, chaos ``raise``).
 SIM_ERROR = "sim_error"
+#: The run raised :class:`~repro.errors.InvariantViolation`: a torture
+#: oracle failed.  Deterministic by construction, so retries are
+#: *disabled* for this kind — re-running could only mask the finding.
+INVARIANT_VIOLATION = "invariant_violation"
 #: The campaign's total wall-clock budget ran out before this run did.
 BUDGET_EXCEEDED = "budget_exceeded"
 #: The run failed at least once but succeeded on a retry (``ok`` is True).
 RETRIED_OK = "retried_ok"
 
 #: Every kind an outcome's ``error_kind`` can carry.
-ERROR_KINDS = (TIMEOUT, WORKER_CRASH, SIM_ERROR, BUDGET_EXCEEDED,
-               RETRIED_OK)
+ERROR_KINDS = (TIMEOUT, WORKER_CRASH, SIM_ERROR, INVARIANT_VIOLATION,
+               BUDGET_EXCEEDED, RETRIED_OK)
 
 #: Traceback lines kept per failed attempt (the tail is where the cause is).
 TRACEBACK_TAIL_LINES = 8
@@ -331,9 +335,16 @@ def _install_worker(beacon, initializer, initargs) -> None:
         initializer(*initargs)
 
 
+def _classify(exc: BaseException) -> str:
+    """Taxonomy kind for an exception a run raised."""
+    return INVARIANT_VIOLATION if isinstance(exc, InvariantViolation) \
+        else SIM_ERROR
+
+
 def _guarded_call(task_fn: Callable[[Any], Any], index: int,
                   payload: Any) -> Tuple[bool, Any, Optional[str],
-                                         Optional[str], float]:
+                                         Optional[str], Optional[str],
+                                         float]:
     """Announce, execute, and capture — nothing escapes but the tuple."""
     if _BEACON is not None:
         try:
@@ -342,10 +353,11 @@ def _guarded_call(task_fn: Callable[[Any], Any], index: int,
             pass  # a lost beacon degrades crash attribution, not results
     start = time.perf_counter()
     try:
-        return (True, task_fn(payload), None, None,
+        return (True, task_fn(payload), None, None, None,
                 time.perf_counter() - start)
     except Exception as exc:
-        return (False, None, f"{type(exc).__name__}: {exc}",
+        return (False, None, _classify(exc),
+                f"{type(exc).__name__}: {exc}",
                 traceback_tail(), time.perf_counter() - start)
 
 
@@ -461,14 +473,16 @@ class ResilientExecutor:
                 elapsed = time.perf_counter() - start
                 error = f"{type(exc).__name__}: {exc}"
                 tail = traceback_tail()
-                if entry.attempts <= self.policy.retries \
+                kind = _classify(exc)
+                if kind != INVARIANT_VIOLATION \
+                        and entry.attempts <= self.policy.retries \
                         and not self._budget_exhausted():
                     self.stats.retries += 1
                     time.sleep(self.policy.delay_s(entry.index,
                                                    entry.attempts))
                     continue
                 return TaskResult(index=entry.index, error=error,
-                                  error_kind=SIM_ERROR, traceback=tail,
+                                  error_kind=kind, traceback=tail,
                                   elapsed_s=elapsed,
                                   attempts=entry.attempts, exception=exc)
             elapsed = time.perf_counter() - start
@@ -526,13 +540,14 @@ class ResilientExecutor:
                 progressed = progressed or bool(ready)
                 for index in ready:
                     flight = inflight.pop(index)
-                    ok, value, error, tail, elapsed = flight.handle.get()
+                    ok, value, kind, error, tail, elapsed = \
+                        flight.handle.get()
                     if ok:
                         results[index] = self._succeed(flight.entry, value,
                                                        elapsed)
                     else:
                         self._fail(results, pending, flight.entry,
-                                   SIM_ERROR, error, tail, elapsed, now)
+                                   kind, error, tail, elapsed, now)
 
                 # Crashed workers: a vanished pid takes its run with it
                 # (the pool replaces the worker on its own).  Runs whose
@@ -694,7 +709,10 @@ class ResilientExecutor:
               pending: List[_Attempt], entry: _Attempt, kind: str,
               error: Optional[str], tail: Optional[str], elapsed: float,
               now: float) -> None:
-        if entry.attempts <= self.policy.retries \
+        # Oracle violations are deterministic: a retry can only mask the
+        # finding, never fix it, so the retry policy does not apply.
+        if kind != INVARIANT_VIOLATION \
+                and entry.attempts <= self.policy.retries \
                 and not self._budget_exhausted():
             self.stats.retries += 1
             entry.not_before = now + self.policy.delay_s(entry.index,

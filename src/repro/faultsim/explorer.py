@@ -37,6 +37,7 @@ from ..eval.common import VictimConfig
 from ..eval.resilient import RetryPolicy
 from ..isa.operands import NUM_REGS
 from ..runtime import Machine
+from ..seeds import spawn_rng
 from .classify import classify, golden_pattern
 from .models import (
     CKPT_CORRUPT,
@@ -192,11 +193,14 @@ class FaultCampaignSpec:
                 raise FaultSimError(
                     f"isr_window campaign on {self.victim.workload!r}, but "
                     f"its profiling run delivered no interrupts")
-        rng = random.Random(self.seed)
         duration = self.victim.duration_s
         plan: List[FaultSpec] = []
         seen = set()
         for model in self.models:
+            # One spawned child stream per model axis (not a shared
+            # stream, not ``seed + i``): model lists of different
+            # lengths or orders can never correlate the draws.
+            rng = spawn_rng(self.seed, "faultsim", "model", model)
             for index in range(self.points):
                 fault = self._draw(model, index, rng, profile, duration)
                 # The RNG samples with replacement; a repeated draw is the

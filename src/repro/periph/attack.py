@@ -27,11 +27,11 @@ default), so windows line up with what the energy system simulates.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from ..isa.operands import NUM_REGS
+from ..seeds import spawn_rng
 from .hub import IsrSpan
 
 #: Simulated MCU clock (matches ``MCUParams.clock_hz``).
@@ -150,10 +150,12 @@ def isr_fault_specs(spans: Sequence[IsrSpan], points: int,
     for span in closed:
         lattice.append((total, span))
         total += span.exit_step - span.entry_step
-    rng = random.Random(seed)
     specs: List[FaultSpec] = []
     seen = set()
     for model in models:
+        # Per-model spawned stream: the reg_flip draws never shift the
+        # instr_skip draws (and vice versa) when points change.
+        rng = spawn_rng(seed, "periph.attack", "model", model)
         for _ in range(points):
             flat = rng.randrange(total)
             span = next(s for base, s in reversed(lattice) if flat >= base)

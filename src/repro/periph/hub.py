@@ -41,8 +41,9 @@ Design rules that keep every existing guarantee intact:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..isa.instructions import Opcode
 from ..isa.operands import NUM_REGS, wrap32
@@ -64,6 +65,14 @@ DMA_BUF_WORDS = 16
 
 #: Diagnostic-trace cap: delivery keeps working beyond it, recording stops.
 TRACE_CAP = 200_000
+
+#: DEBUG ONLY — skip the stale-frame heal in :meth:`PeriphHub._heal`.
+#: This deliberately re-introduces the lost-activation bug the heal
+#: exists to fix; the torture fuzzer's CI smoke job plants it (via the
+#: ``REPRO_UNSAFE_SKIP_HEAL`` environment variable, so spawned campaign
+#: workers inherit it) and must find and shrink it.  Never set in
+#: production runs.
+UNSAFE_SKIP_STALE_FRAME_HEAL = bool(os.environ.get("REPRO_UNSAFE_SKIP_HEAL"))
 
 _EMPTY: FrozenSet[str] = frozenset()
 
@@ -154,6 +163,11 @@ class PeriphHub:
 
         self.trace: List[IsrSpan] = []
         self._open: List[IsrSpan] = []
+        #: Volatile diagnostic: ``(instr_count, vector)`` for every
+        #: stacked activation dropped (and re-pended) by a stale-frame
+        #: heal.  The torture at-least-once oracle checks each entry is
+        #: re-delivered later or still pending at halt.
+        self.heals: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     def _closure(self, root: str) -> FrozenSet[str]:
@@ -316,11 +330,15 @@ class PeriphHub:
             top = mem[self._stack_a + sp - 1]
             if self._owner[machine.pc] in self._territory.get(top, _EMPTY):
                 return  # genuinely executing inside the handler
+        if UNSAFE_SKIP_STALE_FRAME_HEAL:
+            return  # planted bug: the stale frames are never dropped
         repend = 0
         for i in range(max(0, min(sp, ISR_MAX_DEPTH))):
             vector = mem[self._stack_a + i]
             if vector in self._vectors:
                 repend |= 1 << vector
+                if len(self.heals) < TRACE_CAP:
+                    self.heals.append((machine.instr_count, vector))
         mem[self._sp_a] = 0
         machine.wear[self._sp_a] += 1
         if repend:
@@ -404,6 +422,22 @@ class PeriphHub:
                 span.exit_cycles = machine.cycles
                 del self._open[index]
                 return
+
+    # ------------------------------------------------------------------
+    def inject_pend(self, machine, vector: int) -> None:
+        """Externally pend ``vector`` (an adversarial ISR burst).
+
+        This is the software face of EMI-forged device activity: the
+        pending bit is set exactly as a device fire would set it, and
+        delivery follows the normal enable/priority/nesting rules at the
+        next boundary.  Raises ``ValueError`` for unregistered vectors —
+        the attacker forges *lines the hardware has*, not new hardware.
+        """
+        if vector not in self._vectors:
+            raise ValueError(
+                f"vector {vector} has no registered handler "
+                f"(registered: {sorted(self._vectors)})")
+        self._pend(machine, vector)
 
     # ------------------------------------------------------------------
     def deliveries(self) -> int:

@@ -268,9 +268,19 @@ class ResultStore:
                     "meta": entry.get("meta") or {}}
 
     def put(self, digest: str, value: Any,
-            meta: Optional[dict] = None) -> bool:
+            meta: Optional[dict] = None,
+            fsync: Optional[bool] = None) -> bool:
         """Append one entry; returns False when the digest is already
-        stored (content addressing makes re-puts no-ops)."""
+        stored (content addressing makes re-puts no-ops).
+
+        ``fsync`` overrides the store-wide durability default for this
+        one put: ``True`` forces the entry to disk before returning (a
+        killed writer then loses at most a torn tail after it, never
+        this entry), ``False`` skips the sync, ``None`` defers to the
+        constructor's ``fsync`` setting.  The torture corpus puts its
+        repro cases with ``fsync=True`` — a shrunk failure is far more
+        expensive to rediscover than an fsync costs.
+        """
         with self._lock:
             if digest in self._index:
                 self._traffic.duplicate_puts += 1
@@ -287,7 +297,7 @@ class ResultStore:
             data = line.encode()
             handle.write(data)
             handle.flush()
-            if self.fsync:
+            if self.fsync if fsync is None else fsync:
                 os.fsync(handle.fileno())
             path = self._own_segment(bucket)
             self._index[digest] = (path, offset, len(data))

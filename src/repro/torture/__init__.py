@@ -1,0 +1,99 @@
+"""repro.torture: the adversarial crash-consistency fuzzer.
+
+The standing proof engine behind the repo's central claim — that JIT
+checkpoints stay consistent under adversarial EMI.  The hand-written
+crash-consistency test crashes on fixed periods; the torture fuzzer
+generates randomized interleavings of power failures (boundary- and
+ISR-phase-biased, including repeated failure-during-recovery),
+checkpoint-image EMI faults, architectural data faults, and forged ISR
+bursts, then holds every run to a library of invariant oracles.  Every
+violation is delta-debugged down to a minimal replayable
+:class:`~repro.torture.corpus.ReproCase` and persisted in the
+content-addressed result store as a regression corpus.
+
+Module map:
+
+``schedule``  event model, scheme contracts, seeded generator, shrink moves
+``oracles``   the invariant library and its applicability rules
+``engine``    deterministic schedule replay on either backend
+``shrink``    ddmin + per-event simplification under a run budget
+``corpus``    digest-keyed ReproCase store with bit-identical replay
+``fuzz``      seeded campaigns through the resilient executor
+"""
+
+from .corpus import (
+    CORPUS_KIND,
+    ReplayResult,
+    ReproCase,
+    TortureCorpus,
+    record_fingerprints,
+)
+from .engine import TortureOutcome, TortureTarget, build_target, run_schedule
+from .fuzz import CaseResult, TortureReport, TortureSpec, run_campaign
+from .oracles import (
+    BACKEND_EQUIV,
+    FORWARD_PROGRESS,
+    GOLDEN_OUTPUT,
+    ISR_AT_LEAST_ONCE,
+    MACHINE_FAULT,
+    ORACLE_NAMES,
+    TORN_STATE,
+    Violation,
+)
+from .schedule import (
+    AMPLE_BUDGET,
+    CKPT_FAULT,
+    DATA_FAULT,
+    EVENT_KINDS,
+    ISR_BURST,
+    POWER_FAIL,
+    SCHEME_CONTRACTS,
+    SCHEME_NAMES,
+    TortureError,
+    TortureEvent,
+    TortureProfile,
+    TortureSchedule,
+    generate_schedule,
+    validate_schedule,
+)
+from .shrink import ShrinkResult, shrink_schedule
+
+__all__ = [
+    "AMPLE_BUDGET",
+    "BACKEND_EQUIV",
+    "CKPT_FAULT",
+    "CORPUS_KIND",
+    "CaseResult",
+    "DATA_FAULT",
+    "EVENT_KINDS",
+    "FORWARD_PROGRESS",
+    "GOLDEN_OUTPUT",
+    "ISR_AT_LEAST_ONCE",
+    "ISR_BURST",
+    "MACHINE_FAULT",
+    "ORACLE_NAMES",
+    "POWER_FAIL",
+    "ReplayResult",
+    "ReproCase",
+    "SCHEME_CONTRACTS",
+    "SCHEME_NAMES",
+    "ShrinkResult",
+    "TORN_STATE",
+    "TortureCorpus",
+    "TortureError",
+    "TortureEvent",
+    "TortureOutcome",
+    "TortureProfile",
+    "TortureReport",
+    "TortureSchedule",
+    "TortureSpec",
+    "TortureTarget",
+    "Violation",
+    "build_target",
+    "generate_schedule",
+    "record_fingerprints",
+    "run_campaign",
+    "run_schedule",
+    "shrink_schedule",
+    "validate_schedule",
+]

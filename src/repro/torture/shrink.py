@@ -1,0 +1,166 @@
+"""Delta-debugging shrinker: minimal schedules that still violate.
+
+A fuzzer-found violation usually rides on a schedule full of freight —
+events that landed after the bug fired, repeats that never mattered,
+cycle offsets with needless precision.  The shrinker reduces a failing
+schedule while a *predicate* (the original oracle still fires) holds:
+
+1. **ddmin** over the event list (Zeller's classic algorithm): drop
+   complements at increasing granularity until the list is 1-minimal —
+   removing any single remaining event makes the violation vanish.
+2. **Per-event simplification** to a fixpoint: each surviving event is
+   offered the moves from :func:`repro.torture.schedule.simplify_event`
+   (zero the repeat, halve it, drop the gap, de-announce the budget,
+   zero fault words/bits, round the cycle offset to coarser multiples)
+   and keeps any move under which the oracle still fails.
+
+Every probe is one deterministic engine run, so shrinking is replayable;
+a run budget bounds the whole reduction and the best schedule found so
+far is returned when it runs out.  The ``backend_equivalence`` oracle is
+special-cased: its predicate runs *both* backends and compares
+fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .engine import TortureTarget, run_schedule
+from .oracles import BACKEND_EQUIV
+from .schedule import TortureEvent, TortureSchedule, simplify_event
+
+__all__ = ["ShrinkResult", "shrink_schedule"]
+
+#: Default probe budget (engine runs) for one shrink.
+DEFAULT_SHRINK_RUNS = 300
+
+
+class _OutOfRuns(Exception):
+    pass
+
+
+@dataclass
+class ShrinkResult:
+    """What the shrinker achieved, and what it cost."""
+
+    schedule: TortureSchedule
+    oracle: str
+    runs: int
+    original_events: int
+    minimal: bool  # True when reduction reached a fixpoint in budget
+
+    @property
+    def events(self) -> int:
+        return len(self.schedule)
+
+
+class _Shrinker:
+    def __init__(self, target: TortureTarget, oracle: str, backend: str,
+                 max_steps: Optional[int], run_budget: int) -> None:
+        self.target = target
+        self.oracle = oracle
+        self.backend = backend
+        self.max_steps = max_steps
+        self.run_budget = run_budget
+        self.runs = 0
+        self.best: Optional[List[TortureEvent]] = None
+
+    def fails(self, events: Sequence[TortureEvent]) -> bool:
+        """Does the oracle still fire on this candidate schedule?
+
+        Every failing candidate becomes the new best-so-far, so partial
+        progress survives budget exhaustion mid-pass.
+        """
+        if self.runs >= self.run_budget:
+            raise _OutOfRuns
+        schedule = TortureSchedule(events=tuple(events))
+        if self.oracle == BACKEND_EQUIV:
+            self.runs += 2
+            first = run_schedule(self.target, schedule, "interpreter",
+                                 max_steps=self.max_steps)
+            second = run_schedule(self.target, schedule, "threaded",
+                                  max_steps=self.max_steps)
+            failing = first.fingerprint != second.fingerprint
+        else:
+            self.runs += 1
+            outcome = run_schedule(self.target, schedule, self.backend,
+                                   max_steps=self.max_steps)
+            failing = self.oracle in outcome.oracles()
+        if failing:
+            self.best = list(events)
+        return failing
+
+    # -- ddmin ---------------------------------------------------------
+    def ddmin(self, events: List[TortureEvent]) -> List[TortureEvent]:
+        granularity = 2
+        while len(events) >= 2:
+            size = len(events)
+            chunk = max(1, size // granularity)
+            reduced = False
+            for start in range(0, size, chunk):
+                candidate = events[:start] + events[start + chunk:]
+                if candidate and self.fails(candidate):
+                    events = candidate
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if granularity >= size:
+                    break
+                granularity = min(size, granularity * 2)
+        if len(events) > 1:
+            # final 1-minimality sweep (cheap at small sizes)
+            index = 0
+            while index < len(events) and len(events) > 1:
+                candidate = events[:index] + events[index + 1:]
+                if self.fails(candidate):
+                    events = candidate
+                else:
+                    index += 1
+        return events
+
+    # -- per-event simplification --------------------------------------
+    def simplify(self, events: List[TortureEvent]) -> List[TortureEvent]:
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(events)):
+                for replacement in simplify_event(events[index],
+                                                  self.target.scheme):
+                    candidate = list(events)
+                    candidate[index] = replacement
+                    if self.fails(candidate):
+                        events = candidate
+                        changed = True
+                        break
+        return events
+
+
+def shrink_schedule(target: TortureTarget, schedule: TortureSchedule,
+                    oracle: str, backend: str = "interpreter",
+                    max_steps: Optional[int] = None,
+                    run_budget: int = DEFAULT_SHRINK_RUNS) -> ShrinkResult:
+    """Reduce ``schedule`` while ``oracle`` still fails on ``target``.
+
+    Returns the best (smallest, simplest) schedule found within
+    ``run_budget`` engine runs.  The input schedule must already violate
+    the oracle; if it does not, it is returned unchanged with
+    ``minimal=False`` (nothing to shrink against).
+    """
+    shrinker = _Shrinker(target, oracle, backend, max_steps, run_budget)
+    events = list(schedule.events)
+    minimal = False
+    try:
+        if not shrinker.fails(events):
+            return ShrinkResult(schedule=schedule, oracle=oracle,
+                                runs=shrinker.runs,
+                                original_events=len(events), minimal=False)
+        shrinker.simplify(shrinker.ddmin(events))
+        minimal = True
+    except _OutOfRuns:
+        pass
+    best = shrinker.best if shrinker.best is not None else events
+    return ShrinkResult(schedule=TortureSchedule(events=tuple(best)),
+                        oracle=oracle, runs=shrinker.runs,
+                        original_events=len(schedule), minimal=minimal)

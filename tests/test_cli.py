@@ -87,3 +87,36 @@ class TestSweep:
                             "--stop", "31", "--step", "4")
         assert code == 0
         assert "most effective tone: 27 MHz" in out
+
+
+class TestTorture:
+    def test_clean_run_reports_and_exits_zero(self, capsys):
+        code, out = run_cli(capsys, "torture", "run", "blink",
+                            "--scheme", "gecko-jit", "--cases", "3",
+                            "--seed", "3")
+        assert code == 0
+        assert "blink/gecko-jit: 3 cases, 0 violations" in out
+        assert "fingerprint:" in out
+
+    def test_corpus_round_trip(self, capsys, tmp_path, monkeypatch):
+        import repro.periph.hub as hub_mod
+
+        monkeypatch.setattr(hub_mod, "UNSAFE_SKIP_STALE_FRAME_HEAL", True)
+        root = str(tmp_path / "corpus")
+        code, out = run_cli(capsys, "torture", "run", "heartbeat",
+                            "--scheme", "gecko-rollback", "--cases", "6",
+                            "--seed", "0", "--shrink-budget", "60",
+                            "--corpus", root)
+        assert code == 1                     # violations found
+        assert "violations" in out and "corpus" in out
+
+        code, out = run_cli(capsys, "torture", "corpus", root)
+        assert code == 0 and "heartbeat" in out
+
+        code, out = run_cli(capsys, "torture", "replay", root)
+        assert code == 0
+        assert "all cases reproduced" in out
+
+    def test_replay_of_missing_corpus_fails(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["torture", "replay", str(tmp_path / "nope")])

@@ -6,7 +6,10 @@ nothing but the region commits for rollback) and require the committed
 output to equal the failure-free golden run, bit for bit.
 
 This is the test that killed every unsound shortcut during development;
-keep it brutal.
+keep it brutal.  (That note now also governs its generalization, the
+adversarial torture fuzzer — see ``docs/torture.md`` and
+``tests/test_torture.py`` for the interleavings fixed periods cannot
+express.)
 """
 
 import pytest

@@ -11,6 +11,7 @@ import json
 
 import pytest
 
+from repro.errors import InvariantViolation
 from repro.eval import (
     AttackSpec,
     BUDGET_EXCEEDED,
@@ -18,6 +19,7 @@ from repro.eval import (
     CampaignRunner,
     ChaosSpec,
     ExperimentSpec,
+    INVARIANT_VIOLATION,
     RETRIED_OK,
     ResilienceError,
     ResilientExecutor,
@@ -111,6 +113,47 @@ class TestRetries:
                        policy=RetryPolicy(max_total_s=0.0), stats=stats)
         assert all(r.error_kind == BUDGET_EXCEEDED for r in results)
         assert stats.budget_exceeded == 2
+
+
+def _oracle_task(payload):
+    """Violate an invariant on odd payloads, succeed on even ones."""
+    if payload % 2:
+        raise InvariantViolation(f"torn state on case {payload}")
+    return payload * 2
+
+
+class TestInvariantViolations:
+    def test_serial_violation_kind_and_no_retry(self):
+        stats = ExecStats()
+        executor = ResilientExecutor(_oracle_task,
+                                     policy=RetryPolicy(retries=3),
+                                     stats=stats)
+        bad, good = executor.run([(0, 1), (1, 2)])
+        assert not bad.ok
+        assert bad.error_kind == INVARIANT_VIOLATION
+        assert "torn state" in bad.error
+        # A violation is a deterministic finding: retrying could only
+        # mask it, so the retry budget must stay untouched.
+        assert bad.attempts == 1
+        assert stats.retries == 0
+        assert good.ok and good.result == 4
+
+    def test_pool_violation_kind_and_no_retry(self):
+        stats = ExecStats()
+        executor = ResilientExecutor(_oracle_task, workers=2,
+                                     policy=RetryPolicy(retries=3),
+                                     stats=stats)
+        bad, good = executor.run([(0, 3), (1, 4)])
+        assert bad.error_kind == INVARIANT_VIOLATION
+        assert bad.attempts == 1
+        assert "InvariantViolation" in bad.traceback
+        assert stats.retries == 0
+        assert good.ok and good.result == 8
+
+    def test_plain_errors_still_retry(self, tmp_path):
+        chaos = ChaosSpec("raise", arm=1, latch=str(tmp_path / "latch"))
+        (result,) = _run([(chaos, 5)], policy=RetryPolicy(retries=2))
+        assert result.ok and result.error_kind == RETRIED_OK
 
 
 class TestCrashRecovery:

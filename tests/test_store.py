@@ -250,6 +250,45 @@ os._exit(1)
             assert reopened.get(content_digest(["k", i]))["value"] \
                 == {"n": i}
 
+    def test_per_put_fsync_overrides_store_default(self, tmp_path,
+                                                   monkeypatch):
+        import repro.store.store as store_mod
+
+        synced = []
+        monkeypatch.setattr(store_mod.os, "fsync",
+                            lambda fd: synced.append(fd))
+        lazy = ResultStore(str(tmp_path / "lazy"))       # default False
+        eager = ResultStore(str(tmp_path / "eager"), fsync=True)
+
+        lazy.put(content_digest("a"), 1)
+        assert not synced                                # default honored
+        lazy.put(content_digest("b"), 2, fsync=True)
+        assert len(synced) == 1                          # opt-in sync
+        eager.put(content_digest("c"), 3)
+        assert len(synced) == 2                          # default honored
+        eager.put(content_digest("d"), 4, fsync=False)
+        assert len(synced) == 2                          # opt-out skip
+
+    def test_fsynced_put_survives_sigkill(self, tmp_path):
+        root = str(tmp_path / "store")
+        code = f"""
+import os, signal, sys
+sys.path.insert(0, {os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")!r})
+from repro.store import ResultStore, content_digest
+store = ResultStore({root!r}, writer_id="victim")
+store.put(content_digest("precious"), {{"shrunk": True}}, fsync=True)
+# SIGKILL: no interpreter cleanup, no atexit flushes — the entry is
+# only safe if the put really reached the disk before returning.
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True)
+        assert proc.returncode == -9
+        reopened = ResultStore(root, writer_id="victim")
+        assert reopened.get(content_digest("precious"))["value"] \
+            == {"shrunk": True}
+
     def test_parallel_writer_processes_share_one_root(self, tmp_path):
         root = str(tmp_path / "store")
         ResultStore(root).close()          # create the layout
